@@ -1,0 +1,38 @@
+# powermap — build / test / reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test short bench fuzz tables verify clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Brief fuzzing of the three parsers (seed corpora run in plain `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/blif/
+	$(GO) test -fuzz=FuzzParseExpr -fuzztime=20s ./internal/genlib/
+	$(GO) test -fuzz=FuzzParseGenlib -fuzztime=20s ./internal/genlib/
+
+# Regenerate every table/figure of the paper (see EXPERIMENTS.md).
+tables:
+	$(GO) run ./cmd/tables -table all
+
+# The final artifacts requested by the reproduction protocol.
+verify:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,26 @@
+// Command pmap runs the full power-aware synthesis flow of the paper on a
+// BLIF netlist or a built-in benchmark: technology-independent quick-opt,
+// power-efficient technology decomposition (Section 2), and power-efficient
+// technology mapping (Section 3), then reports gate area, delay and average
+// power, and optionally the mapped gate list.
+//
+// Usage:
+//
+//	pmap -blif circuit.blif -method VI
+//	pmap -circuit alu2 -method IV -style static -relax 0.2 -gates
+//	pmap -circuit s208 -method I -recover -write mapped.blif
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"powermap/internal/cli"
+)
+
+func main() {
+	if err := cli.Pmap(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pmap:", err)
+		os.Exit(1)
+	}
+}

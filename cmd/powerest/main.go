@@ -1,0 +1,25 @@
+// Command powerest estimates zero-delay switching activity and signal
+// probabilities for a BLIF network via exact global BDDs (the Equation 2
+// linear traversal), in the manner of the Ghosh et al. estimator the paper
+// used. It reports per-node probabilities/activities and network totals,
+// and can cross-check the exact numbers against Monte-Carlo simulation.
+//
+// Usage:
+//
+//	powerest -blif circuit.blif -style static -prob 0.5 -nodes
+//	powerest -blif circuit.blif -mc 20000
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"powermap/internal/cli"
+)
+
+func main() {
+	if err := cli.Powerest(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "powerest:", err)
+		os.Exit(1)
+	}
+}

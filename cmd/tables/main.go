@@ -1,0 +1,26 @@
+// Command tables regenerates the paper's experimental results:
+//
+//	tables -table 1           Table 1  (Modified Huffman optimality rate)
+//	tables -table 2           Table 2  (Methods I–III: ad-map)
+//	tables -table 3           Table 3  (Methods IV–VI: pd-map)
+//	tables -table summary     Section 4 summary ratios vs the paper
+//	tables -table figure1     the Figure 1 worked example
+//	tables -table correlated  the correlated-input extension experiment
+//	tables -table all         everything
+//
+// -circuits restricts Tables 2/3 to a comma-separated benchmark subset.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"powermap/internal/cli"
+)
+
+func main() {
+	if err := cli.Tables(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}

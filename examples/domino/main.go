@@ -1,0 +1,94 @@
+// domino: power-efficient decomposition for dynamic (domino) CMOS,
+// including correlated inputs — the Section 2.1.1 machinery.
+//
+// The example decomposes a wide AND three ways:
+//
+//  1. p-type domino with independent inputs, where the weight combination
+//     is quasi-linear and plain Huffman construction is provably optimal
+//     (Theorem 2.2);
+//  2. the same inputs with strong pairwise correlations, using the
+//     Equation 7–9 correlated algebra (Modified Huffman);
+//  3. the bounded-height variant (Larmore–Hirschberg, Theorem 2.3) when
+//     the unrestricted tree is too deep for the cycle time.
+//
+// Run with: go run ./examples/domino
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powermap/internal/huffman"
+)
+
+func main() {
+	// Eight domino inputs with skewed 1-probabilities.
+	probs := []float64{0.9, 0.8, 0.7, 0.6, 0.4, 0.3, 0.2, 0.1}
+	alg := huffman.SignalAlgebra{Gate: huffman.GateAnd, Style: huffman.DominoP}
+	leaves := make([]huffman.Signal, len(probs))
+	for i, p := range probs {
+		leaves[i] = huffman.SignalFromProb(p)
+	}
+
+	// 1. Independent inputs: Huffman is optimal.
+	tr := huffman.Build[huffman.Signal](alg, leaves)
+	balanced := huffman.BuildBalanced[huffman.Signal](alg, leaves)
+	fmt.Println("p-type domino AND decomposition, independent inputs:")
+	fmt.Printf("  balanced tree: activity %.4f, height %d\n",
+		huffman.TotalCost[huffman.Signal](alg, balanced), balanced.Height())
+	fmt.Printf("  MINPOWER tree: activity %.4f, height %d  (Huffman, optimal)\n\n",
+		huffman.TotalCost[huffman.Signal](alg, tr), tr.Height())
+
+	// 2. Correlated inputs: joint probabilities replace products.
+	// Neighboring signals are strongly positively correlated.
+	n := len(probs)
+	joint := make([][]float64, n)
+	for i := range joint {
+		joint[i] = make([]float64, n)
+		for j := range joint[i] {
+			pi, pj := probs[i], probs[j]
+			indep := pi * pj
+			if i == j {
+				joint[i][j] = pi
+				continue
+			}
+			if i/2 == j/2 {
+				// Same pair: P(i,j) pushed toward min(pi,pj).
+				joint[i][j] = 0.8*minF(pi, pj) + 0.2*indep
+			} else {
+				joint[i][j] = indep
+			}
+		}
+	}
+	corr, err := huffman.NewCorrDomino(false, probs, joint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctr := huffman.BuildModified[huffman.CorrState](corr, corr.Leaves())
+	fmt.Println("correlated inputs (Equations 7-9, Modified Huffman):")
+	fmt.Printf("  MINPOWER tree: activity %.4f, height %d\n",
+		huffman.TotalCost[huffman.CorrState](corr, ctr), ctr.Height())
+	fmt.Println("  correlated pairs are merged first: their joint probability is")
+	fmt.Println("  barely above the single-signal probability, so the AND output")
+	fmt.Println("  switches almost as rarely as its rarer input.")
+	fmt.Println()
+
+	// 3. Height-bounded (cycle-time constrained) decomposition.
+	for _, bound := range []int{5, 4, 3} {
+		btr, err := huffman.BuildBounded[huffman.Signal](alg, leaves, bound, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bounded height <= %d: activity %.4f, height %d\n",
+			bound, huffman.TotalCost[huffman.Signal](alg, btr), btr.Height())
+	}
+	fmt.Println("\nThe activity/height trade-off is the BOUNDED-HEIGHT MINPOWER")
+	fmt.Println("problem of Section 2.2: tighter cycle times cost switching power.")
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

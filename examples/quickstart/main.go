@@ -1,0 +1,59 @@
+// Quickstart: reproduce the paper's Figure 1 worked example, then run the
+// complete power-aware synthesis flow on it.
+//
+// Figure 1 shows that the way a 4-input AND is decomposed into 2-input
+// gates changes the total switching activity: with P(a)=0.3 P(b)=0.4
+// P(c)=0.7 P(d)=0.5 in a p-type dynamic circuit, the chain ((ab)c)d has
+// SR = 2.146 while the balanced (ab)(cd) has SR = 2.412. The MINPOWER
+// decomposition finds the cheapest tree automatically.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powermap"
+)
+
+func main() {
+	nw, probs := powermap.Figure1()
+
+	// Part 1: the Figure 1 arithmetic, via the exact activity estimator.
+	model, err := powermap.EstimateActivities(nw, probs, powermap.DominoP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = model
+	y := nw.NodeByName("y")
+	fmt.Printf("Figure 1: P(y = a·b·c·d) = %.4f (paper: 0.3·0.4·0.7·0.5 = 0.042)\n\n", y.Prob1)
+
+	// Part 2: the full flow — decomposition chooses the minimum-activity
+	// tree, mapping covers it with library gates.
+	for _, m := range []powermap.Method{powermap.MethodI, powermap.MethodV} {
+		res, err := powermap.Synthesize(nw, powermap.Options{
+			Method: m,
+			Style:  powermap.DominoP,
+			PIProb: probs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := powermap.Verify(nw, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("method %-3s (%v + %v):\n", m, m.Decomposition(), m.Mapping())
+		fmt.Printf("  subject graph: %d NAND/INV nodes, total activity %.4f\n",
+			res.Decomp.Network.Stats().Nodes, res.Decomp.TotalActivity)
+		fmt.Printf("  mapped:        %d gates, area %.0f, delay %.2f ns, power %.3f uW\n",
+			res.Report.Gates, res.Report.GateArea, res.Report.Delay, res.Report.PowerUW)
+		for _, cc := range res.Netlist.CellCounts() {
+			fmt.Printf("                 %-8s x%d\n", cc.Name, cc.Count)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The MINPOWER decomposition (method V) merges the low-probability")
+	fmt.Println("inputs first, so the high-activity intermediate products are the")
+	fmt.Println("cheap ones — exactly the Figure 1 argument.")
+}

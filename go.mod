@@ -1,0 +1,3 @@
+module powermap
+
+go 1.22

@@ -1,0 +1,44 @@
+package powermap
+
+import (
+	"testing"
+
+	"powermap/internal/core"
+	"powermap/internal/eval"
+)
+
+// TestSuiteShape runs the Tables 2/3 protocol on a representative subset
+// and asserts the paper's qualitative results hold: power-delay mapping
+// beats area-delay mapping on power for every circuit under common timing
+// constraints, at an area premium and without delay degradation beyond the
+// constraints. Skipped under -short (it synthesizes 4 circuits × 6
+// methods).
+func TestSuiteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite shape test skipped in -short mode")
+	}
+	names := []string{"s208", "cm42a", "x2", "alu2"}
+	rows, err := eval.RunSuite(Methods(), core.Options{Style: Static}, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		ad := r.Results[MethodI]
+		pd := r.Results[MethodIV]
+		if pd.PowerUW > ad.PowerUW*1.02 {
+			t.Errorf("%s: pd-map power %.1f not better than ad-map %.1f",
+				r.Circuit, pd.PowerUW, ad.PowerUW)
+		}
+		if pd.GateArea < ad.GateArea*0.7 {
+			t.Errorf("%s: pd-map area %.0f implausibly below ad-map %.0f",
+				r.Circuit, pd.GateArea, ad.GateArea)
+		}
+	}
+	s := eval.Summarize(rows)
+	if s.PdPower > -5 {
+		t.Errorf("pd-map power gain %.1f%% too small (paper: -22%%)", s.PdPower)
+	}
+	if s.PdArea < 0 {
+		t.Errorf("pd-map area change %.1f%% should be positive (paper: +12.4%%)", s.PdArea)
+	}
+}

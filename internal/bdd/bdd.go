@@ -1,0 +1,403 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with a shared unique table, the ite operator, and the linear-traversal
+// signal-probability computation of Najm used by the paper (Equation 2):
+//
+//	P(f) = P(x)·P(f_x) + (1-P(x))·P(f_x̄)
+//
+// evaluated by one depth-first pass over the DAG with memoization.
+//
+// The manager is not safe for concurrent use.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+
+	"powermap/internal/sop"
+)
+
+// Ref identifies a BDD node within a Manager. The constants False and True
+// are valid in every manager.
+type Ref int32
+
+// Terminal references shared by all managers.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable level; terminals use maxLevel
+	lo, hi Ref
+}
+
+const maxLevel = int32(1<<30 - 1)
+
+type triple struct {
+	level  int32
+	lo, hi Ref
+}
+
+type cacheKey struct {
+	op      int32
+	f, g, h Ref
+}
+
+const (
+	opAnd = iota
+	opOr
+	opXor
+	opIte
+)
+
+// ErrNodeLimit is returned when an operation would grow the manager past its
+// configured node limit.
+var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+
+// Manager owns a forest of ROBDD nodes over a fixed variable order.
+// Variable i has level i; smaller levels are tested first.
+type Manager struct {
+	nodes    []node
+	unique   map[triple]Ref
+	computed map[cacheKey]Ref
+	numVars  int
+	limit    int
+}
+
+// New returns a manager over numVars variables with a default node limit
+// suitable for the benchmark networks in this repository.
+func New(numVars int) *Manager {
+	m := &Manager{
+		unique:   make(map[triple]Ref),
+		computed: make(map[cacheKey]Ref),
+		numVars:  numVars,
+		limit:    4 << 20,
+	}
+	m.nodes = append(m.nodes,
+		node{level: maxLevel}, // False
+		node{level: maxLevel}, // True
+	)
+	return m
+}
+
+// SetNodeLimit overrides the default node limit. Operations that would
+// exceed it panic with ErrNodeLimit wrapped in the panic value; the flow
+// treats this as a fatal configuration error.
+func (m *Manager) SetNodeLimit(n int) { m.limit = n }
+
+// NumVars returns the number of variables in the manager's order.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// NumNodes returns the number of live nodes, including the two terminals.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// Var returns the BDD for variable v.
+func (m *Manager) Var(v int) Ref {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	}
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD for the negation of variable v.
+func (m *Manager) NVar(v int) Ref {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	}
+	return m.mk(int32(v), True, False)
+}
+
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := triple{level, lo, hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	if len(m.nodes) >= m.limit {
+		panic(ErrNodeLimit)
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	m.unique[key] = r
+	return r
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Ref) Ref { return m.Ite(f, False, True) }
+
+// And returns f AND g.
+func (m *Manager) And(f, g Ref) Ref { return m.apply(opAnd, f, g) }
+
+// Or returns f OR g.
+func (m *Manager) Or(f, g Ref) Ref { return m.apply(opOr, f, g) }
+
+// Xor returns f XOR g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.apply(opXor, f, g) }
+
+func (m *Manager) apply(op int32, f, g Ref) Ref {
+	switch op {
+	case opAnd:
+		if f == False || g == False {
+			return False
+		}
+		if f == True {
+			return g
+		}
+		if g == True {
+			return f
+		}
+		if f == g {
+			return f
+		}
+	case opOr:
+		if f == True || g == True {
+			return True
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == g {
+			return f
+		}
+	case opXor:
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == g {
+			return False
+		}
+		if f == True && g == True {
+			return False
+		}
+	}
+	// Normalize commutative operand order for cache hits.
+	a, b := f, g
+	if a > b {
+		a, b = b, a
+	}
+	key := cacheKey{op: op, f: a, g: b}
+	if r, ok := m.computed[key]; ok {
+		return r
+	}
+	lf, lg := m.level(a), m.level(b)
+	top := lf
+	if lg < top {
+		top = lg
+	}
+	a0, a1 := m.cofactors(a, top)
+	b0, b1 := m.cofactors(b, top)
+	r := m.mk(top, m.apply(op, a0, b0), m.apply(op, a1, b1))
+	m.computed[key] = r
+	return r
+}
+
+func (m *Manager) cofactors(f Ref, level int32) (lo, hi Ref) {
+	if m.level(f) != level {
+		return f, f
+	}
+	n := m.nodes[f]
+	return n.lo, n.hi
+}
+
+// Ite returns if-then-else(f, g, h) = f·g + f̄·h.
+func (m *Manager) Ite(f, g, h Ref) Ref {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := cacheKey{op: opIte, f: f, g: g, h: h}
+	if r, ok := m.computed[key]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	r := m.mk(top, m.Ite(f0, g0, h0), m.Ite(f1, g1, h1))
+	m.computed[key] = r
+	return r
+}
+
+// Restrict returns f with variable v fixed to the given value.
+func (m *Manager) Restrict(f Ref, v int, value bool) Ref {
+	level := int32(v)
+	var rec func(g Ref) Ref
+	memo := make(map[Ref]Ref)
+	rec = func(g Ref) Ref {
+		if m.level(g) > level {
+			return g
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		n := m.nodes[g]
+		var r Ref
+		if n.level == level {
+			if value {
+				r = n.hi
+			} else {
+				r = n.lo
+			}
+		} else {
+			r = m.mk(n.level, rec(n.lo), rec(n.hi))
+		}
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// FromCover builds the BDD of an SOP cover where cover variable i is
+// represented by inputs[i] (an arbitrary function, enabling composition of a
+// local function with its fanins' global functions).
+func (m *Manager) FromCover(f *sop.Cover, inputs []Ref) Ref {
+	if f.NumVars != len(inputs) {
+		panic(fmt.Sprintf("bdd: cover width %d != input count %d", f.NumVars, len(inputs)))
+	}
+	result := False
+	for _, c := range f.Cubes {
+		term := True
+		for v, l := range c {
+			switch l {
+			case sop.Pos:
+				term = m.And(term, inputs[v])
+			case sop.Neg:
+				term = m.And(term, m.Not(inputs[v]))
+			}
+			if term == False {
+				break
+			}
+		}
+		result = m.Or(result, term)
+		if result == True {
+			break
+		}
+	}
+	return result
+}
+
+// Prob computes the probability that f evaluates to 1 when variable v is 1
+// independently with probability p1[v] (Equation 2 of the paper), via a
+// single memoized depth-first traversal.
+func (m *Manager) Prob(f Ref, p1 []float64) float64 {
+	if len(p1) != m.numVars {
+		panic(fmt.Sprintf("bdd: got %d probabilities for %d variables", len(p1), m.numVars))
+	}
+	memo := make(map[Ref]float64)
+	var rec func(g Ref) float64
+	rec = func(g Ref) float64 {
+		switch g {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if p, ok := memo[g]; ok {
+			return p
+		}
+		n := m.nodes[g]
+		pv := p1[n.level]
+		p := pv*rec(n.hi) + (1-pv)*rec(n.lo)
+		memo[g] = p
+		return p
+	}
+	return rec(f)
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// numVars variables.
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := make(map[Ref]float64)
+	var rec func(g Ref, level int32) float64
+	rec = func(g Ref, level int32) float64 {
+		if g == False {
+			return 0
+		}
+		gl := m.level(g)
+		if g == True {
+			gl = int32(m.numVars)
+		}
+		skip := float64(int64(1) << uint(gl-level))
+		if g == True {
+			return skip
+		}
+		if c, ok := memo[g]; ok {
+			return skip * c
+		}
+		n := m.nodes[g]
+		c := rec(n.lo, n.level+1) + rec(n.hi, n.level+1)
+		memo[g] = c
+		return skip * c
+	}
+	return rec(f, 0)
+}
+
+// Support returns the ascending variable indices appearing in f.
+func (m *Manager) Support(f Ref) []int {
+	seen := make(map[int32]bool)
+	visited := make(map[Ref]bool)
+	var rec func(g Ref)
+	rec = func(g Ref) {
+		if g == False || g == True || visited[g] {
+			return
+		}
+		visited[g] = true
+		n := m.nodes[g]
+		seen[n.level] = true
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(f)
+	out := make([]int, 0, len(seen))
+	for v := int32(0); v < int32(m.numVars); v++ {
+		if seen[v] {
+			out = append(out, int(v))
+		}
+	}
+	return out
+}
+
+// Eval evaluates f under a full assignment.
+func (m *Manager) Eval(f Ref, assign []bool) bool {
+	for f != False && f != True {
+		n := m.nodes[f]
+		if assign[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// CondProb returns P(f=1 | g=1) under independent variable probabilities,
+// computed as P(f·g)/P(g). It returns 0 when P(g)=0.
+func (m *Manager) CondProb(f, g Ref, p1 []float64) float64 {
+	pg := m.Prob(g, p1)
+	if pg == 0 {
+		return 0
+	}
+	return m.Prob(m.And(f, g), p1) / pg
+}

@@ -1,0 +1,286 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powermap/internal/sop"
+)
+
+func TestTerminals(t *testing.T) {
+	m := New(2)
+	if m.Not(False) != True || m.Not(True) != False {
+		t.Fatal("terminal complement broken")
+	}
+	if m.And(True, False) != False || m.Or(True, False) != True {
+		t.Fatal("terminal and/or broken")
+	}
+}
+
+func TestVarBasics(t *testing.T) {
+	m := New(3)
+	x := m.Var(0)
+	if m.And(x, m.Not(x)) != False {
+		t.Error("x & !x != 0")
+	}
+	if m.Or(x, m.Not(x)) != True {
+		t.Error("x | !x != 1")
+	}
+	if m.Xor(x, x) != False {
+		t.Error("x ^ x != 0")
+	}
+	if m.NVar(0) != m.Not(x) {
+		t.Error("NVar != Not(Var)")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	// (a&b)|c  built two different ways must be pointer-equal.
+	f1 := m.Or(m.And(a, b), c)
+	f2 := m.Or(c, m.And(b, a))
+	if f1 != f2 {
+		t.Error("equivalent functions got different refs")
+	}
+	f3 := m.Ite(a, m.Or(b, c), c)
+	if f1 != f3 {
+		t.Error("ite form differs from or/and form")
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	if m.Not(m.And(a, b)) != m.Or(m.Not(a), m.Not(b)) {
+		t.Error("De Morgan violated")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), c)
+	if m.Restrict(f, 0, true) != m.Or(b, c) {
+		t.Error("restrict a=1 wrong")
+	}
+	if m.Restrict(f, 0, false) != c {
+		t.Error("restrict a=0 wrong")
+	}
+	if m.Restrict(f, 2, true) != True {
+		t.Error("restrict c=1 wrong")
+	}
+}
+
+func TestEvalAgainstTruthTable(t *testing.T) {
+	m := New(4)
+	vars := []Ref{m.Var(0), m.Var(1), m.Var(2), m.Var(3)}
+	// f = (x0 XOR x1) AND (x2 OR !x3)
+	f := m.And(m.Xor(vars[0], vars[1]), m.Or(vars[2], m.Not(vars[3])))
+	for bits := 0; bits < 16; bits++ {
+		assign := []bool{bits&1 != 0, bits&2 != 0, bits&4 != 0, bits&8 != 0}
+		want := (assign[0] != assign[1]) && (assign[2] || !assign[3])
+		if m.Eval(f, assign) != want {
+			t.Fatalf("eval mismatch at %04b", bits)
+		}
+	}
+}
+
+func TestFromCover(t *testing.T) {
+	m := New(3)
+	f := sop.NewCover(2)
+	f.AddCube(sop.Cube{sop.Pos, sop.Pos})
+	inputs := []Ref{m.Var(0), m.Var(1)}
+	r := m.FromCover(f, inputs)
+	if r != m.And(m.Var(0), m.Var(1)) {
+		t.Error("FromCover of AND cube wrong")
+	}
+	// Composition: local AND over (x0 OR x2, x1).
+	comp := m.FromCover(f, []Ref{m.Or(m.Var(0), m.Var(2)), m.Var(1)})
+	want := m.And(m.Or(m.Var(0), m.Var(2)), m.Var(1))
+	if comp != want {
+		t.Error("FromCover composition wrong")
+	}
+	if m.FromCover(sop.Zero(2), inputs) != False {
+		t.Error("zero cover != False")
+	}
+	if m.FromCover(sop.One(2), inputs) != True {
+		t.Error("one cover != True")
+	}
+}
+
+func TestProbSimple(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	p := []float64{0.3, 0.4}
+	if got := m.Prob(m.And(a, b), p); math.Abs(got-0.12) > 1e-12 {
+		t.Errorf("P(ab) = %v, want 0.12", got)
+	}
+	if got := m.Prob(m.Or(a, b), p); math.Abs(got-(0.3+0.4-0.12)) > 1e-12 {
+		t.Errorf("P(a+b) = %v", got)
+	}
+	if got := m.Prob(m.Xor(a, b), p); math.Abs(got-(0.3*0.6+0.7*0.4)) > 1e-12 {
+		t.Errorf("P(a^b) = %v", got)
+	}
+}
+
+func TestProbReconvergence(t *testing.T) {
+	// f = a AND a must have P = p, not p^2: BDDs capture reconvergence.
+	m := New(1)
+	a := m.Var(0)
+	f := m.And(a, a)
+	if got := m.Prob(f, []float64{0.3}); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("P(a&a) = %v, want 0.3", got)
+	}
+}
+
+// truthProb computes the exact probability by full enumeration.
+func truthProb(m *Manager, f Ref, p []float64) float64 {
+	n := m.NumVars()
+	total := 0.0
+	assign := make([]bool, n)
+	var rec func(i int, w float64)
+	rec = func(i int, w float64) {
+		if i == n {
+			if m.Eval(f, assign) {
+				total += w
+			}
+			return
+		}
+		assign[i] = false
+		rec(i+1, w*(1-p[i]))
+		assign[i] = true
+		rec(i+1, w*p[i])
+	}
+	rec(0, 1)
+	return total
+}
+
+func TestProbMatchesEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := New(5)
+		// Random function from random cover.
+		f := sop.NewCover(5)
+		for i := 0; i < 1+r.Intn(6); i++ {
+			c := sop.NewCube(5)
+			for v := range c {
+				c[v] = sop.Lit(r.Intn(3))
+			}
+			f.AddCube(c)
+		}
+		inputs := make([]Ref, 5)
+		for i := range inputs {
+			inputs[i] = m.Var(i)
+		}
+		g := m.FromCover(f, inputs)
+		p := make([]float64, 5)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		got := m.Prob(g, p)
+		want := truthProb(m, g, p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Prob=%v enumeration=%v for %v", got, want, f)
+		}
+	}
+}
+
+func TestProbBounds(t *testing.T) {
+	// Property: probability is always within [0,1] for probabilities in [0,1].
+	check := func(raw [5]uint8, seeds [3]uint8) bool {
+		m := New(5)
+		p := make([]float64, 5)
+		for i, b := range raw {
+			p[i] = float64(b) / 255
+		}
+		f := m.Var(int(seeds[0]) % 5)
+		f = m.Or(f, m.And(m.Var(int(seeds[1])%5), m.Not(m.Var(int(seeds[2])%5))))
+		pr := m.Prob(f, p)
+		return pr >= -1e-12 && pr <= 1+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	if got := m.SatCount(m.And(a, b)); got != 2 { // c free
+		t.Errorf("satcount(ab) = %v, want 2", got)
+	}
+	if got := m.SatCount(True); got != 8 {
+		t.Errorf("satcount(1) = %v, want 8", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("satcount(0) = %v, want 0", got)
+	}
+	if got := m.SatCount(m.Xor(a, b)); got != 4 {
+		t.Errorf("satcount(a^b) = %v, want 4", got)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(4)
+	f := m.And(m.Var(0), m.Or(m.Var(2), m.Var(3)))
+	sup := m.Support(f)
+	if len(sup) != 3 || sup[0] != 0 || sup[1] != 2 || sup[2] != 3 {
+		t.Errorf("support = %v", sup)
+	}
+	if len(m.Support(True)) != 0 {
+		t.Error("constant has support")
+	}
+}
+
+func TestCondProb(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	p := []float64{0.5, 0.5}
+	// P(a | a&b) = 1.
+	if got := m.CondProb(a, m.And(a, b), p); math.Abs(got-1) > 1e-12 {
+		t.Errorf("P(a|ab) = %v", got)
+	}
+	// P(a | b) = P(a) for independent vars.
+	if got := m.CondProb(a, b, p); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(a|b) = %v", got)
+	}
+	if got := m.CondProb(a, False, p); got != 0 {
+		t.Errorf("P(a|0) = %v, want 0", got)
+	}
+}
+
+func TestIteIdentities(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	if m.Ite(a, b, b) != b {
+		t.Error("ite(a,b,b) != b")
+	}
+	if m.Ite(a, True, False) != a {
+		t.Error("ite(a,1,0) != a")
+	}
+	if m.Ite(a, False, True) != m.Not(a) {
+		t.Error("ite(a,0,1) != !a")
+	}
+	lhs := m.Ite(a, b, c)
+	rhs := m.Or(m.And(a, b), m.And(m.Not(a), c))
+	if lhs != rhs {
+		t.Error("ite expansion identity broken")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	m := New(8)
+	m.SetNodeLimit(4) // absurdly small: any mk should trip it
+	defer func() {
+		if r := recover(); r != ErrNodeLimit {
+			t.Errorf("expected ErrNodeLimit panic, got %v", r)
+		}
+	}()
+	f := True
+	for i := 0; i < 8; i++ {
+		f = m.And(f, m.Var(i))
+	}
+}

@@ -1,0 +1,359 @@
+// Package blif reads and writes the Berkeley Logic Interchange Format used
+// by MIS/SIS and the MCNC/ISCAS benchmark suites. The subset handled covers
+// combinational synthesis: .model, .inputs, .outputs, .names, .latch (cut
+// into pseudo PI/PO pairs, which is how the paper's sequential ISCAS-89
+// circuits are used combinationally), .end, comments, and line continuation.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"powermap/internal/network"
+	"powermap/internal/sop"
+)
+
+// ParseError reports a syntax or semantic error with its 1-based line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("blif: line %d: %s", e.Line, e.Msg) }
+
+type rawNames struct {
+	line    int
+	signals []string // inputs then output
+	rows    []string // "in-plane out-value"
+}
+
+type parser struct {
+	model       string
+	inputs      []string
+	outputs     []string
+	names       []rawNames
+	latchIn     []string
+	latchOut    []string
+	sawModel    bool
+	sawEnd      bool
+	latchCutMsg int
+}
+
+// Parse reads a BLIF description and builds a combinational Boolean network.
+// Latches are cut: each latch output becomes a pseudo primary input and each
+// latch input a pseudo primary output.
+func Parse(r io.Reader) (*network.Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	p := &parser{}
+	lineNo := 0
+	pending := ""
+	pendingStart := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasSuffix(line, "\\") {
+			if pending == "" {
+				pendingStart = lineNo
+			}
+			pending += strings.TrimSuffix(line, "\\") + " "
+			continue
+		}
+		start := lineNo
+		if pending != "" {
+			line = strings.TrimSpace(pending + line)
+			start = pendingStart
+			pending = ""
+		}
+		if line == "" {
+			continue
+		}
+		if err := p.handle(start, line); err != nil {
+			return nil, err
+		}
+		if p.sawEnd {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blif: read: %w", err)
+	}
+	if pending != "" {
+		return nil, &ParseError{Line: pendingStart, Msg: "dangling line continuation"}
+	}
+	if !p.sawModel {
+		return nil, &ParseError{Line: lineNo, Msg: "missing .model"}
+	}
+	return p.build()
+}
+
+// ParseString is Parse over an in-memory BLIF text.
+func ParseString(s string) (*network.Network, error) { return Parse(strings.NewReader(s)) }
+
+func (p *parser) handle(line int, text string) error {
+	fields := strings.Fields(text)
+	switch fields[0] {
+	case ".model":
+		if p.sawModel {
+			return &ParseError{Line: line, Msg: "duplicate .model (single-model files only)"}
+		}
+		p.sawModel = true
+		if len(fields) > 1 {
+			p.model = fields[1]
+		}
+	case ".inputs":
+		p.inputs = append(p.inputs, fields[1:]...)
+	case ".outputs":
+		p.outputs = append(p.outputs, fields[1:]...)
+	case ".names":
+		if len(fields) < 2 {
+			return &ParseError{Line: line, Msg: ".names with no signals"}
+		}
+		p.names = append(p.names, rawNames{line: line, signals: fields[1:]})
+	case ".latch":
+		if len(fields) < 3 {
+			return &ParseError{Line: line, Msg: ".latch needs input and output"}
+		}
+		p.latchIn = append(p.latchIn, fields[1])
+		p.latchOut = append(p.latchOut, fields[2])
+	case ".end":
+		p.sawEnd = true
+	case ".exdc":
+		return &ParseError{Line: line, Msg: ".exdc networks are not supported"}
+	case ".wire_load_slope", ".wire", ".gate", ".mlatch", ".clock",
+		".area", ".delay", ".input_arrival", ".output_required",
+		".default_input_arrival", ".default_output_required",
+		".input_drive", ".output_load", ".default_input_drive",
+		".default_output_load", ".clock_event", ".search":
+		// Annotations irrelevant to this flow; ignore.
+	default:
+		if strings.HasPrefix(fields[0], ".") {
+			return &ParseError{Line: line, Msg: fmt.Sprintf("unsupported construct %s", fields[0])}
+		}
+		// Cover row for the most recent .names.
+		if len(p.names) == 0 {
+			return &ParseError{Line: line, Msg: "cover row outside .names"}
+		}
+		cur := &p.names[len(p.names)-1]
+		cur.rows = append(cur.rows, text)
+	}
+	return nil
+}
+
+func (p *parser) build() (*network.Network, error) {
+	nw := network.New(p.model)
+	// Latch outputs become pseudo-PIs.
+	pis := append([]string(nil), p.inputs...)
+	pis = append(pis, p.latchOut...)
+	for _, name := range pis {
+		if nw.NodeByName(name) != nil {
+			return nil, &ParseError{Line: 1, Msg: fmt.Sprintf("duplicate input %s", name)}
+		}
+		nw.AddPI(name)
+	}
+
+	// Build dependency-ordered node creation: .names may appear in any order.
+	type pendingNode struct {
+		raw    rawNames
+		output string
+		inputs []string
+	}
+	byOutput := make(map[string]*pendingNode)
+	var order []string
+	for _, rn := range p.names {
+		out := rn.signals[len(rn.signals)-1]
+		if byOutput[out] != nil {
+			return nil, &ParseError{Line: rn.line, Msg: fmt.Sprintf("signal %s defined twice", out)}
+		}
+		if nw.NodeByName(out) != nil {
+			return nil, &ParseError{Line: rn.line, Msg: fmt.Sprintf("signal %s shadows an input", out)}
+		}
+		byOutput[out] = &pendingNode{raw: rn, output: out, inputs: rn.signals[:len(rn.signals)-1]}
+		order = append(order, out)
+	}
+	// Topologically create nodes.
+	state := make(map[string]int)
+	var create func(name string) error
+	create = func(name string) error {
+		if nw.NodeByName(name) != nil {
+			return nil
+		}
+		pn, ok := byOutput[name]
+		if !ok {
+			return &ParseError{Line: 1, Msg: fmt.Sprintf("signal %s is used but never defined", name)}
+		}
+		switch state[name] {
+		case 1:
+			return &ParseError{Line: pn.raw.line, Msg: fmt.Sprintf("combinational cycle through %s", name)}
+		case 2:
+			return nil
+		}
+		state[name] = 1
+		for _, in := range pn.inputs {
+			if err := create(in); err != nil {
+				return err
+			}
+		}
+		cover, err := coverFromRows(pn.raw)
+		if err != nil {
+			return err
+		}
+		fanins := make([]*network.Node, len(pn.inputs))
+		for i, in := range pn.inputs {
+			fanins[i] = nw.NodeByName(in)
+		}
+		if len(pn.inputs) == 0 {
+			n := nw.AddConstant(name, cover.IsOne())
+			_ = n
+		} else {
+			nw.AddNode(name, fanins, cover)
+		}
+		state[name] = 2
+		return nil
+	}
+	for _, name := range order {
+		if err := create(name); err != nil {
+			return nil, err
+		}
+	}
+	// Latch inputs become pseudo-POs; real outputs keep their names.
+	outs := append([]string(nil), p.outputs...)
+	outs = append(outs, p.latchIn...)
+	for _, name := range outs {
+		drv := nw.NodeByName(name)
+		if drv == nil {
+			return nil, &ParseError{Line: 1, Msg: fmt.Sprintf("output %s is never defined", name)}
+		}
+		nw.MarkOutput(name, drv)
+	}
+	if err := nw.Check(); err != nil {
+		return nil, fmt.Errorf("blif: built network invalid: %w", err)
+	}
+	return nw, nil
+}
+
+func coverFromRows(rn rawNames) (*sop.Cover, error) {
+	nin := len(rn.signals) - 1
+	onSet := sop.NewCover(nin)
+	offSet := sop.NewCover(nin)
+	sawOn, sawOff := false, false
+	for _, row := range rn.rows {
+		fields := strings.Fields(row)
+		var inPlane, outVal string
+		switch {
+		case nin == 0 && len(fields) == 1:
+			inPlane, outVal = "", fields[0]
+		case len(fields) == 2:
+			inPlane, outVal = fields[0], fields[1]
+		default:
+			return nil, &ParseError{Line: rn.line, Msg: fmt.Sprintf("malformed cover row %q", row)}
+		}
+		if len(inPlane) != nin {
+			return nil, &ParseError{Line: rn.line,
+				Msg: fmt.Sprintf("cover row %q has %d columns, want %d", row, len(inPlane), nin)}
+		}
+		cube := sop.NewCube(nin)
+		for i, ch := range inPlane {
+			switch ch {
+			case '1':
+				cube[i] = sop.Pos
+			case '0':
+				cube[i] = sop.Neg
+			case '-':
+				cube[i] = sop.DC
+			default:
+				return nil, &ParseError{Line: rn.line, Msg: fmt.Sprintf("bad cover character %q", ch)}
+			}
+		}
+		switch outVal {
+		case "1":
+			sawOn = true
+			onSet.AddCube(cube)
+		case "0":
+			sawOff = true
+			offSet.AddCube(cube)
+		default:
+			return nil, &ParseError{Line: rn.line, Msg: fmt.Sprintf("bad output value %q", outVal)}
+		}
+	}
+	if sawOn && sawOff {
+		return nil, &ParseError{Line: rn.line, Msg: "mixed on-set and off-set rows in one .names"}
+	}
+	if sawOff {
+		// Off-set specification: the function is the complement of the rows.
+		f := offSet.Complement()
+		return f, nil
+	}
+	onSet.Minimize()
+	return onSet, nil
+}
+
+// Write serializes a network as BLIF. Node local functions are emitted as
+// their on-set cubes.
+func Write(w io.Writer, nw *network.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", nw.Name)
+	writeSignalList(bw, ".inputs", nw.PINames())
+	writeSignalList(bw, ".outputs", nw.OutputNames())
+	// Outputs driven directly by PIs (or by nodes whose BLIF name differs
+	// from the output name) need alias buffers.
+	aliases := map[string]string{}
+	for _, o := range nw.Outputs {
+		if o.Driver.Name != o.Name {
+			aliases[o.Name] = o.Driver.Name
+		}
+	}
+	for _, n := range nw.TopoOrder() {
+		if n.Kind == network.PI {
+			continue
+		}
+		fmt.Fprintf(bw, ".names")
+		for _, fi := range n.Fanin {
+			fmt.Fprintf(bw, " %s", fi.Name)
+		}
+		fmt.Fprintf(bw, " %s\n", n.Name)
+		if n.Func.IsZero() {
+			// Constant 0: no rows.
+		} else {
+			for _, c := range n.Func.Cubes {
+				if len(c) == 0 {
+					fmt.Fprintf(bw, "1\n")
+				} else {
+					fmt.Fprintf(bw, "%s 1\n", c)
+				}
+			}
+		}
+	}
+	// Emit alias buffers deterministically.
+	aliasNames := make([]string, 0, len(aliases))
+	for name := range aliases {
+		aliasNames = append(aliasNames, name)
+	}
+	sort.Strings(aliasNames)
+	for _, name := range aliasNames {
+		fmt.Fprintf(bw, ".names %s %s\n1 1\n", aliases[name], name)
+	}
+	fmt.Fprintf(bw, ".end\n")
+	return bw.Flush()
+}
+
+func writeSignalList(w io.Writer, directive string, names []string) {
+	fmt.Fprintf(w, "%s", directive)
+	col := len(directive)
+	for _, n := range names {
+		if col+len(n)+1 > 78 {
+			fmt.Fprintf(w, " \\\n   ")
+			col = 4
+		}
+		fmt.Fprintf(w, " %s", n)
+		col += len(n) + 1
+	}
+	fmt.Fprintf(w, "\n")
+}

@@ -1,0 +1,256 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"powermap/internal/network"
+)
+
+const simpleBlif = `
+# a small combinational model
+.model simple
+.inputs a b c
+.outputs y z
+.names a b t1
+11 1
+.names t1 c y
+1- 1
+-1 1
+.names a c z
+10 1
+.end
+`
+
+func TestParseSimple(t *testing.T) {
+	nw, err := ParseString(simpleBlif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Name != "simple" {
+		t.Errorf("model name %q", nw.Name)
+	}
+	s := nw.Stats()
+	if s.PIs != 3 || s.POs != 2 || s.Nodes != 3 {
+		t.Errorf("stats %+v", s)
+	}
+	got := nw.Eval(map[string]bool{"a": true, "b": true, "c": false})
+	if !got["y"] || !got["z"] {
+		t.Errorf("eval = %v", got)
+	}
+	got = nw.Eval(map[string]bool{"a": false, "b": false, "c": false})
+	if got["y"] || got["z"] {
+		t.Errorf("eval all-zero = %v", got)
+	}
+}
+
+func TestParseOutOfOrderNames(t *testing.T) {
+	// t1 is used before it is defined.
+	text := `
+.model ooo
+.inputs a b
+.outputs y
+.names t1 y
+0 1
+.names a b t1
+11 1
+.end
+`
+	nw, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nw.Eval(map[string]bool{"a": true, "b": true})
+	if got["y"] {
+		t.Error("y should be NOT(a AND b)")
+	}
+}
+
+func TestParseOffsetRows(t *testing.T) {
+	// Function given by its off-set: y = NOT(a AND b).
+	text := `
+.model offset
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+`
+	nw, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b, want bool }{
+		{true, true, false}, {true, false, true}, {false, false, true},
+	}
+	for _, tc := range cases {
+		if got := nw.Eval(map[string]bool{"a": tc.a, "b": tc.b})["y"]; got != tc.want {
+			t.Errorf("eval(%v,%v) = %v want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	text := `
+.model consts
+.inputs a
+.outputs one zero y
+.names one
+1
+.names zero
+.names a one y
+11 1
+.end
+`
+	nw, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nw.Eval(map[string]bool{"a": true})
+	if !got["one"] || got["zero"] || !got["y"] {
+		t.Errorf("constants eval = %v", got)
+	}
+}
+
+func TestParseLatchCut(t *testing.T) {
+	text := `
+.model seq
+.inputs x
+.outputs q
+.latch d s 0
+.names x s d
+10 1
+.names s q
+1 1
+.end
+`
+	nw, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s (latch output) must be a PI, d (latch input) a PO.
+	if nw.NodeByName("s") == nil || nw.NodeByName("s").Kind != network.PI {
+		t.Error("latch output not cut into a PI")
+	}
+	found := false
+	for _, o := range nw.Outputs {
+		if o.Name == "d" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("latch input not cut into a PO")
+	}
+}
+
+func TestParseContinuation(t *testing.T) {
+	text := ".model cont\n.inputs a b \\\n  c\n.outputs y\n.names a b c y\n111 1\n.end\n"
+	nw, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.PIs) != 3 {
+		t.Errorf("PIs = %d, want 3", len(nw.PIs))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"undefined", ".model m\n.inputs a\n.outputs y\n.end\n", "never defined"},
+		{"cycle", ".model m\n.inputs a\n.outputs y\n.names y a t\n11 1\n.names t y\n1 1\n.end\n", "cycle"},
+		{"mixed", ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n", "mixed"},
+		{"badchar", ".model m\n.inputs a\n.outputs y\n.names a y\nx 1\n.end\n", "bad cover"},
+		{"width", ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n", "columns"},
+		{"redef", ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n", "twice"},
+		{"unsupported", ".model m\n.subckt foo\n.end\n", "unsupported"},
+		{"rowoutside", ".model m\n11 1\n.end\n", "outside"},
+		{"nomodel", ".inputs a\n", "missing .model"},
+	}
+	for _, tc := range cases {
+		_, err := ParseString(tc.text)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := ParseString(simpleBlif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	ok, err := network.EquivalentBrute(orig, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("round-trip not equivalent:\n%s", buf.String())
+	}
+}
+
+func TestWriteWrapsLongLines(t *testing.T) {
+	nw := network.New("long")
+	var last *network.Node
+	for i := 0; i < 30; i++ {
+		last = nw.AddPI(strings.Repeat("x", 10) + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	nw.MarkOutput("o", last)
+	var buf bytes.Buffer
+	if err := Write(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > 80 {
+			t.Errorf("line too long (%d): %q", len(line), line)
+		}
+	}
+	back, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.PIs) != 30 {
+		t.Errorf("wrapped inputs reparse to %d PIs", len(back.PIs))
+	}
+}
+
+func TestParseDanglingContinuation(t *testing.T) {
+	if _, err := ParseString(".model m\n.inputs a \\"); err == nil ||
+		!strings.Contains(err.Error(), "dangling") {
+		t.Errorf("dangling continuation not reported: %v", err)
+	}
+	// Continuation followed by blank content (fuzz regression).
+	if _, err := ParseString("\\\n "); err == nil {
+		t.Error("continuation-to-whitespace should fail with missing .model")
+	}
+}
+
+func TestRoundTripPIOutput(t *testing.T) {
+	// An output driven directly by a PI requires an alias buffer on write.
+	text := ".model wire\n.inputs a\n.outputs a_out\n.names a a_out\n1 1\n.end\n"
+	nw, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Eval(map[string]bool{"a": true})["a_out"]; !got {
+		t.Error("alias output broken after round trip")
+	}
+}

@@ -1,0 +1,156 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempBlif(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.blif")
+	text := `
+.model clitest
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+`
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPmapList(t *testing.T) {
+	var out bytes.Buffer
+	if err := Pmap([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"s208", "cm42a", "alu2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %s", want)
+		}
+	}
+}
+
+func TestPmapBlifFlow(t *testing.T) {
+	path := writeTempBlif(t)
+	var out bytes.Buffer
+	if err := Pmap([]string{"-blif", path, "-method", "V", "-gates"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"circuit clitest", "mapped:", "gate list", "cell usage"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPmapWriteAndDot(t *testing.T) {
+	path := writeTempBlif(t)
+	dir := t.TempDir()
+	mapped := filepath.Join(dir, "m.blif")
+	dot := filepath.Join(dir, "m.dot")
+	var out bytes.Buffer
+	err := Pmap([]string{"-blif", path, "-method", "IV", "-write", mapped, "-dot", dot, "-recover", "-glitch", "200"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mapped)
+	if err != nil || !strings.Contains(string(data), ".gate") {
+		t.Errorf("mapped BLIF not written: %v", err)
+	}
+	data, err = os.ReadFile(dot)
+	if err != nil || !strings.Contains(string(data), "digraph") {
+		t.Errorf("dot not written: %v", err)
+	}
+	if !strings.Contains(out.String(), "drive recovery") || !strings.Contains(out.String(), "glitch-aware") {
+		t.Errorf("missing recovery/glitch lines:\n%s", out.String())
+	}
+}
+
+func TestPmapErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                      // no input
+		{"-circuit", "bogus"},                   // unknown benchmark
+		{"-circuit", "cm42a", "-method", "VII"}, // bad method
+		{"-circuit", "cm42a", "-style", "ecl"},  // bad style
+		{"-blif", "/nonexistent", "-circuit", "cm42a"}, // both inputs
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := Pmap(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestPowerest(t *testing.T) {
+	path := writeTempBlif(t)
+	var out bytes.Buffer
+	if err := Powerest([]string{"-blif", path, "-mc", "2000", "-nodes"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"total internal switching activity", "Monte-Carlo", "P(1)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := Powerest([]string{}, &out); err == nil {
+		t.Error("missing -blif accepted")
+	}
+}
+
+func TestTablesFigure1(t *testing.T) {
+	var out bytes.Buffer
+	if err := Tables([]string{"-table", "figure1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SR = 2.146") || !strings.Contains(out.String(), "SR = 2.412") {
+		t.Errorf("figure1 output wrong:\n%s", out.String())
+	}
+}
+
+func TestTablesTable1(t *testing.T) {
+	var out bytes.Buffer
+	if err := Tables([]string{"-table", "1", "-patterns", "30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "numbers of input") {
+		t.Errorf("table 1 output wrong:\n%s", out.String())
+	}
+}
+
+func TestTablesSubsetSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := Tables([]string{"-table", "summary", "-circuits", "cm42a,alu2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pd-map vs ad-map: power") {
+		t.Errorf("summary output wrong:\n%s", out.String())
+	}
+}
+
+func TestTablesUnknownCircuit(t *testing.T) {
+	var out bytes.Buffer
+	if err := Tables([]string{"-table", "2", "-circuits", "nope"}, &out); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if _, err := ParseMethod("iii"); err != nil {
+		t.Error("case-insensitive method rejected")
+	}
+	if _, err := ParseStyle("DOMINO-P"); err != nil {
+		t.Error("case-insensitive style rejected")
+	}
+}

@@ -1,0 +1,230 @@
+// Package cli implements the command-line tools (pmap, powerest, tables)
+// as testable functions over io.Writer; the cmd/ mains are thin wrappers.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"powermap/internal/blif"
+	"powermap/internal/circuits"
+	"powermap/internal/core"
+	"powermap/internal/genlib"
+	"powermap/internal/huffman"
+	"powermap/internal/network"
+	"powermap/internal/power"
+	"powermap/internal/sim"
+)
+
+// Pmap runs the pmap command: the full synthesis flow plus reporting.
+func Pmap(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pmap", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		blifPath = fs.String("blif", "", "input BLIF netlist")
+		circuit  = fs.String("circuit", "", "built-in benchmark name (see -list)")
+		list     = fs.Bool("list", false, "list built-in benchmarks and exit")
+		method   = fs.String("method", "VI", "method I..VI (Tables 2/3 of the paper)")
+		style    = fs.String("style", "static", "design style: static, domino-p, domino-n")
+		libPath  = fs.String("lib", "", "genlib library file (default: embedded lib2)")
+		exact    = fs.Bool("exact", false, "price decomposition merges with global BDDs")
+		relax    = fs.Float64("relax", 0.15, "timing slack fraction for defaulted required times")
+		epsilon  = fs.Float64("epsilon", 0, "power-delay curve epsilon pruning (ns)")
+		tree     = fs.Bool("tree", false, "strict tree partitioning in the mapper")
+		piProb   = fs.Float64("prob", 0.5, "uniform P(pi=1) for all primary inputs")
+		gates    = fs.Bool("gates", false, "print the mapped gate list")
+		verify   = fs.Bool("verify", true, "verify result equivalence against the source")
+		write    = fs.String("write", "", "write the mapped netlist as mapped BLIF to this file")
+		dot      = fs.String("dot", "", "write the mapped netlist as Graphviz DOT to this file")
+		glitch   = fs.Int("glitch", 0, "simulate N vector pairs under the unit-delay model")
+		method2  = fs.Bool("method2", false, "use Section 3.1 Method 2 power accounting (ablation)")
+		recovery = fs.Bool("recover", false, "run drive-strength power recovery after mapping")
+		topPower = fs.Int("top", 0, "print the N most power-hungry signals")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, b := range circuits.Suite() {
+			fmt.Fprintf(out, "%-8s %s\n", b.Name, b.Description)
+		}
+		return nil
+	}
+	src, err := LoadNetwork(*blifPath, *circuit)
+	if err != nil {
+		return err
+	}
+	m, err := ParseMethod(*method)
+	if err != nil {
+		return err
+	}
+	st, err := ParseStyle(*style)
+	if err != nil {
+		return err
+	}
+	lib, err := loadLibrary(*libPath)
+	if err != nil {
+		return err
+	}
+	probs := map[string]float64{}
+	for _, name := range src.PINames() {
+		probs[name] = *piProb
+	}
+	res, err := core.Synthesize(src, core.Options{
+		Method:       m,
+		Style:        st,
+		Exact:        *exact,
+		PIProb:       probs,
+		Relax:        *relax,
+		Epsilon:      *epsilon,
+		TreeMode:     *tree,
+		PowerMethod2: *method2,
+		Library:      lib,
+	})
+	if err != nil {
+		return err
+	}
+	if *verify {
+		if err := core.VerifyAgainstSource(src, res); err != nil {
+			return err
+		}
+	}
+
+	s := src.Stats()
+	fmt.Fprintf(out, "circuit %s: %d PI, %d PO, %d nodes, %d literals\n",
+		src.Name, s.PIs, s.POs, s.Nodes, s.Literals)
+	fmt.Fprintf(out, "method %s (%v decomposition + %v)\n", m, m.Decomposition(), m.Mapping())
+	fmt.Fprintf(out, "quick-opt: %d literals -> %d (%d consts, %d buffers, %d eliminated, %d cubes, %d kernels)\n",
+		res.OptStats.LiteralsBefore, res.OptStats.LiteralsAfter,
+		res.OptStats.ConstantsPropagated, res.OptStats.BuffersCollapsed,
+		res.OptStats.NodesEliminated, res.OptStats.CubesExtracted, res.OptStats.KernelsExtracted)
+	fmt.Fprintf(out, "subject graph: %d nodes, depth %.0f, total activity %.3f, %d bounded re-decompositions\n",
+		res.Decomp.Network.Stats().Nodes, res.Decomp.Depth,
+		res.Decomp.TotalActivity, res.Decomp.Redecompositions)
+	fmt.Fprintf(out, "mapped: %d gates, area %.0f, delay %.2f ns, power %.2f uW\n",
+		res.Report.Gates, res.Report.GateArea, res.Report.Delay, res.Report.PowerUW)
+	if *recovery {
+		swaps := res.Netlist.RecoverDrive(lib, nil)
+		fmt.Fprintf(out, "drive recovery: %d swaps -> area %.0f, delay %.2f ns, power %.2f uW\n",
+			swaps, res.Netlist.Report.GateArea, res.Netlist.Report.Delay, res.Netlist.Report.PowerUW)
+	}
+	if *glitch > 0 {
+		rep, err := sim.Glitch(res.Netlist, res.Decomp.Network, probs, *glitch, 1, power.Default())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "glitch-aware power (%d vectors, unit delay): %.2f uW (zero-delay simulated: %.2f uW)\n",
+			rep.Vectors, rep.PowerUW, rep.ZeroDelayPowerUW)
+	}
+	if *dot != "" {
+		if err := writeFile(*dot, res.Netlist.WriteDot); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "netlist graph written to %s\n", *dot)
+	}
+	if *write != "" {
+		if err := writeFile(*write, res.Netlist.WriteBLIF); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "mapped netlist written to %s\n", *write)
+	}
+	if *topPower > 0 {
+		rows := res.Netlist.PowerBreakdown()
+		if len(rows) > *topPower {
+			rows = rows[:*topPower]
+		}
+		fmt.Fprintf(out, "\ntop %d power consumers:\n", len(rows))
+		for _, r := range rows {
+			fmt.Fprintf(out, "  %-12s load=%5.2f  E=%.3f  %6.2f uW\n",
+				r.Signal.Name, r.Load, r.Activity, r.PowerUW)
+		}
+	}
+	if *gates {
+		fmt.Fprintln(out, "\ngate list:")
+		for _, g := range res.Netlist.Gates {
+			ins := make([]string, len(g.Inputs))
+			for i, in := range g.Inputs {
+				ins[i] = in.Name
+			}
+			fmt.Fprintf(out, "  %-10s %-8s (%s)\n", g.Root.Name, g.Cell.Name, strings.Join(ins, ", "))
+		}
+		fmt.Fprintln(out, "\ncell usage:")
+		for _, cc := range res.Netlist.CellCounts() {
+			fmt.Fprintf(out, "  %-8s x%d\n", cc.Name, cc.Count)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadLibrary(path string) (*genlib.Library, error) {
+	if path == "" {
+		return genlib.Lib2(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return genlib.Parse(f)
+}
+
+// LoadNetwork loads a BLIF file or a named built-in benchmark.
+func LoadNetwork(blifPath, circuit string) (*network.Network, error) {
+	switch {
+	case blifPath != "" && circuit != "":
+		return nil, fmt.Errorf("give either -blif or -circuit, not both")
+	case blifPath != "":
+		f, err := os.Open(blifPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return blif.Parse(f)
+	case circuit != "":
+		b, err := circuits.ByName(circuit)
+		if err != nil {
+			return nil, err
+		}
+		return b.Build(), nil
+	default:
+		return nil, fmt.Errorf("need -blif FILE or -circuit NAME (try -list)")
+	}
+}
+
+// ParseMethod resolves a Roman-numeral method name.
+func ParseMethod(s string) (core.Method, error) {
+	for _, m := range core.Methods() {
+		if strings.EqualFold(m.String(), s) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown method %q (want I..VI)", s)
+}
+
+// ParseStyle resolves a design-style name.
+func ParseStyle(s string) (huffman.Style, error) {
+	switch strings.ToLower(s) {
+	case "static":
+		return huffman.Static, nil
+	case "domino-p", "dominop", "p":
+		return huffman.DominoP, nil
+	case "domino-n", "dominon", "n":
+		return huffman.DominoN, nil
+	}
+	return 0, fmt.Errorf("unknown style %q", s)
+}

@@ -1,0 +1,113 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"powermap/internal/blif"
+	"powermap/internal/huffman"
+	"powermap/internal/network"
+	"powermap/internal/prob"
+	"powermap/internal/sim"
+)
+
+// Powerest runs the powerest command: exact zero-delay probability and
+// activity estimation of a BLIF network, with optional Monte-Carlo
+// cross-checking.
+func Powerest(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("powerest", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		blifPath = fs.String("blif", "", "input BLIF netlist")
+		style    = fs.String("style", "static", "design style: static, domino-p, domino-n")
+		piProb   = fs.Float64("prob", 0.5, "uniform P(pi=1) for all primary inputs")
+		perNode  = fs.Bool("nodes", false, "print per-node probabilities and activities")
+		top      = fs.Int("top", 10, "print the N most active nodes")
+		mc       = fs.Int("mc", 0, "cross-check against N Monte-Carlo vectors")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *blifPath == "" {
+		return fmt.Errorf("powerest: need -blif FILE")
+	}
+	f, err := os.Open(*blifPath)
+	if err != nil {
+		return err
+	}
+	nw, err := blif.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	st, err := ParseStyle(*style)
+	if err != nil {
+		return err
+	}
+	probs := map[string]float64{}
+	for _, name := range nw.PINames() {
+		probs[name] = *piProb
+	}
+	if _, err := prob.Compute(nw, probs, st); err != nil {
+		return err
+	}
+
+	var internals []*network.Node
+	total := 0.0
+	for _, n := range nw.TopoOrder() {
+		if n.Kind == network.Internal {
+			internals = append(internals, n)
+			total += n.Activity
+		}
+	}
+	s := nw.Stats()
+	fmt.Fprintf(out, "circuit %s: %d PI, %d PO, %d nodes (%s style)\n", nw.Name, s.PIs, s.POs, s.Nodes, st)
+	fmt.Fprintf(out, "total internal switching activity: %.4f\n", total)
+	if len(internals) > 0 {
+		fmt.Fprintf(out, "mean activity per node: %.4f\n", total/float64(len(internals)))
+	}
+
+	if *mc > 0 {
+		est, err := sim.Activities(nw, probs, *mc, 1)
+		if err != nil {
+			return err
+		}
+		worst, mcTotal := 0.0, 0.0
+		for _, n := range internals {
+			mcTotal += est[n].Activity
+			if st == huffman.Static {
+				if d := math.Abs(est[n].Activity - n.Activity); d > worst {
+					worst = d
+				}
+			}
+		}
+		fmt.Fprintf(out, "Monte-Carlo (%d vectors): total activity %.4f", *mc, mcTotal)
+		if st == huffman.Static {
+			fmt.Fprintf(out, ", worst per-node |MC - BDD| = %.4f", worst)
+		}
+		fmt.Fprintln(out)
+	}
+
+	switch {
+	case *perNode:
+		fmt.Fprintln(out, "\nnode          P(1)     E")
+		for _, n := range internals {
+			fmt.Fprintf(out, "%-12s %.4f  %.4f\n", n.Name, n.Prob1, n.Activity)
+		}
+	case *top > 0:
+		sorted := append([]*network.Node(nil), internals...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Activity > sorted[j].Activity })
+		if len(sorted) > *top {
+			sorted = sorted[:*top]
+		}
+		fmt.Fprintf(out, "\ntop %d most active nodes:\n", len(sorted))
+		for _, n := range sorted {
+			fmt.Fprintf(out, "  %-12s P(1)=%.4f  E=%.4f\n", n.Name, n.Prob1, n.Activity)
+		}
+	}
+	return nil
+}

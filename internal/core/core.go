@@ -1,0 +1,230 @@
+// Package core integrates the paper's contribution into one synthesis
+// flow: technology-independent quick-opt (the SIS rugged stand-in),
+// power-efficient technology decomposition (Section 2), and power-efficient
+// technology mapping (Section 3). The six experimental methods of Tables 2
+// and 3 are first-class values:
+//
+//	Method I    conventional decomposition + area-delay mapping
+//	Method II   MINPOWER decomposition     + area-delay mapping
+//	Method III  bounded-height MINPOWER    + area-delay mapping
+//	Method IV   conventional decomposition + power-delay mapping
+//	Method V    MINPOWER decomposition     + power-delay mapping
+//	Method VI   bounded-height MINPOWER    + power-delay mapping
+package core
+
+import (
+	"fmt"
+
+	"powermap/internal/decomp"
+	"powermap/internal/genlib"
+	"powermap/internal/huffman"
+	"powermap/internal/mapper"
+	"powermap/internal/network"
+	"powermap/internal/opt"
+	"powermap/internal/power"
+	"powermap/internal/prob"
+)
+
+// Method is one of the paper's six decomposition×mapping combinations.
+type Method int
+
+// The six methods of Tables 2 and 3.
+const (
+	MethodI Method = iota + 1
+	MethodII
+	MethodIII
+	MethodIV
+	MethodV
+	MethodVI
+)
+
+// String returns the Roman numeral used in the paper.
+func (m Method) String() string {
+	switch m {
+	case MethodI:
+		return "I"
+	case MethodII:
+		return "II"
+	case MethodIII:
+		return "III"
+	case MethodIV:
+		return "IV"
+	case MethodV:
+		return "V"
+	case MethodVI:
+		return "VI"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Decomposition returns the method's technology-decomposition strategy.
+func (m Method) Decomposition() decomp.Strategy {
+	switch m {
+	case MethodI, MethodIV:
+		return decomp.Conventional
+	case MethodII, MethodV:
+		return decomp.MinPower
+	default:
+		return decomp.BoundedMinPower
+	}
+}
+
+// Mapping returns the method's mapping objective.
+func (m Method) Mapping() mapper.Objective {
+	if m <= MethodIII {
+		return mapper.AreaDelay
+	}
+	return mapper.PowerDelay
+}
+
+// Methods lists all six in table order.
+func Methods() []Method {
+	return []Method{MethodI, MethodII, MethodIII, MethodIV, MethodV, MethodVI}
+}
+
+// Options configures Synthesize.
+type Options struct {
+	// Method selects decomposition strategy and mapping objective. When 0,
+	// Decomposition and Mapping are used directly.
+	Method        Method
+	Decomposition decomp.Strategy
+	Mapping       mapper.Objective
+
+	// Style is the CMOS design style (static in the paper's experiments).
+	Style huffman.Style
+	// Exact uses global-BDD costs during decomposition.
+	Exact bool
+	// PIProb gives P(pi=1) by name (default 0.5: the paper's independent,
+	// uniform primary inputs).
+	PIProb map[string]float64
+	// Library is the target cell library (default the embedded lib2).
+	Library *genlib.Library
+	// SkipOptimize bypasses the technology-independent script (the input
+	// is already optimized).
+	SkipOptimize bool
+	// EliminateThreshold is passed to opt.Optimize (0 collapses only
+	// growth-free nodes, the default; negative disables elimination).
+	EliminateThreshold int
+	// Relax loosens the mapper's defaulted required times (default 0.15,
+	// giving both ad-map and pd-map the same modest timing slack to spend).
+	Relax float64
+	// Epsilon is the mapper's curve-pruning width.
+	Epsilon float64
+	// TreeMode uses strict tree partitioning in the mapper.
+	TreeMode bool
+	// PowerMethod2 selects the Section 3.1 Method 2 power accounting in
+	// the mapper (for ablations; Method 1 is the paper's choice).
+	PowerMethod2 bool
+	// Strash enables structural hashing of the subject graph (an
+	// extension; off by default for fidelity to the paper's pipeline).
+	Strash bool
+	// StrongSimplify enables Espresso-style node simplification in
+	// quick-opt (an extension; off by default — see EXPERIMENTS.md).
+	StrongSimplify bool
+	// PIArrival/PORequired pass mapped-domain (ns) timing constraints.
+	PIArrival  map[string]float64
+	PORequired map[string]float64
+	// Env overrides the electrical operating point.
+	Env power.Environment
+}
+
+// Result is the outcome of a full synthesis run.
+type Result struct {
+	// Optimized is the technology-independent optimized network.
+	Optimized *network.Network
+	// Decomp is the decomposition result (subject graph + probabilities).
+	Decomp *decomp.Result
+	// Netlist is the mapped circuit.
+	Netlist *mapper.Netlist
+	// Report carries the paper's three reported metrics.
+	Report power.Report
+	// OptStats reports what quick-opt changed.
+	OptStats opt.Stats
+}
+
+// Synthesize runs the full flow on a copy of the input network. The input
+// is never modified.
+func Synthesize(nw *network.Network, o Options) (*Result, error) {
+	if o.Method != 0 {
+		o.Decomposition = o.Method.Decomposition()
+		o.Mapping = o.Method.Mapping()
+	}
+	if o.Library == nil {
+		o.Library = genlib.Lib2()
+	}
+	if o.Relax == 0 {
+		o.Relax = 0.15
+	}
+	res := &Result{}
+
+	work := nw.Duplicate()
+	if !o.SkipOptimize {
+		// MaxNodeLiterals keeps optimized nodes small, matching the
+		// "relatively simple nodes" the paper attributes to its
+		// fast_extract/quick-decomposition front end (Section 4).
+		st, err := opt.Optimize(work, opt.Options{
+			EliminateThreshold: o.EliminateThreshold,
+			MaxNodeLiterals:    6,
+			StrongSimplify:     o.StrongSimplify,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: optimize: %w", err)
+		}
+		res.OptStats = st
+	}
+	res.Optimized = work
+
+	d, err := decomp.Decompose(work, decomp.Options{
+		Strategy: o.Decomposition,
+		Style:    o.Style,
+		Exact:    o.Exact,
+		PIProb:   o.PIProb,
+		Strash:   o.Strash,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: decompose: %w", err)
+	}
+	res.Decomp = d
+
+	nl, err := mapper.Map(d.Network, d.Model, mapper.Options{
+		Objective:    o.Mapping,
+		Library:      o.Library,
+		TreeMode:     o.TreeMode,
+		Epsilon:      o.Epsilon,
+		Env:          o.Env,
+		PIArrival:    o.PIArrival,
+		PORequired:   o.PORequired,
+		Relax:        o.Relax,
+		PowerMethod2: o.PowerMethod2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: map: %w", err)
+	}
+	if err := nl.Verify(d.Model); err != nil {
+		return nil, fmt.Errorf("core: mapped netlist failed verification: %w", err)
+	}
+	res.Netlist = nl
+	res.Report = nl.Report
+	return res, nil
+}
+
+// VerifyAgainstSource checks that the synthesized result still computes the
+// original network's outputs (BDD equivalence of the optimized network vs
+// the source; the mapped netlist is verified gate-by-gate in Synthesize).
+func VerifyAgainstSource(src *network.Network, res *Result) error {
+	ok, err := prob.EquivalentOutputs(src, res.Optimized)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("core: optimized network is not equivalent to the source")
+	}
+	ok, err = prob.EquivalentOutputs(src, res.Decomp.Network)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("core: subject graph is not equivalent to the source")
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package decomp
+
+import (
+	"fmt"
+	"math"
+
+	"powermap/internal/bdd"
+	"powermap/internal/huffman"
+	"powermap/internal/prob"
+)
+
+// builderSet bundles the AND and OR algebras over a state type S together
+// with the strategy-dependent construction policy. It fills a plan's tree
+// shapes and installs the bounded-rebuild closure used by the Section 2.3
+// driver.
+type builderSet[S any] struct {
+	and, or     huffman.Algebra[S]
+	leafState   func(lit literal) S
+	strategy    Strategy
+	quasiLinear bool // plain Huffman is optimal; otherwise Modified Huffman
+}
+
+func (b *builderSet[S]) build(alg huffman.Algebra[S], leaves []S) *huffman.Tree[S] {
+	switch {
+	case b.strategy == Conventional:
+		return huffman.BuildBalanced(alg, leaves)
+	case b.quasiLinear:
+		return huffman.Build(alg, leaves)
+	default:
+		return huffman.BuildModified(alg, leaves)
+	}
+}
+
+// plan fills p.andShapes and p.orShape and installs p.rebuild.
+func (b *builderSet[S]) plan(p *plan) error {
+	termStates := make([]S, len(p.cubes))
+	p.andShapes = make([]*shape, len(p.cubes))
+	for i, cube := range p.cubes {
+		states := make([]S, len(cube))
+		for j, lit := range cube {
+			states[j] = b.leafState(lit)
+		}
+		if len(cube) == 1 {
+			termStates[i] = states[0]
+			continue
+		}
+		t := b.build(b.and, states)
+		p.andShapes[i] = shapeOf(t)
+		termStates[i] = t.State
+	}
+	if len(p.cubes) > 1 {
+		t := b.build(b.or, termStates)
+		p.orShape = shapeOf(t)
+	}
+	p.rebuild = func(limit int) (bool, error) { return b.rebuildBounded(p, limit) }
+	return nil
+}
+
+// rebuildBounded re-decomposes the node so that its AND-OR structure height
+// is at most limit, using the bounded-height constructions of Section 2.2.
+// It reports false when the bound is infeasible.
+func (b *builderSet[S]) rebuildBounded(p *plan, limit int) (bool, error) {
+	modified := !b.quasiLinear
+	leafStatesOf := func(cube []literal) []S {
+		states := make([]S, len(cube))
+		for j, lit := range cube {
+			states[j] = b.leafState(lit)
+		}
+		return states
+	}
+	if len(p.cubes) == 1 {
+		cube := p.cubes[0]
+		if len(cube) == 1 {
+			return limit >= 0, nil
+		}
+		if limit < ceilLog2(len(cube)) {
+			return false, nil
+		}
+		t, err := huffman.BuildBounded(b.and, leafStatesOf(cube), limit, modified)
+		if err != nil {
+			return false, nil
+		}
+		p.andShapes[0] = shapeOf(t)
+		return true, nil
+	}
+	// Multi-cube: split the height budget between the OR tree and the AND
+	// trees and keep the cheapest feasible split.
+	bestCost := math.Inf(1)
+	var bestAnd []*shape
+	var bestOr *shape
+	for orH := ceilLog2(len(p.cubes)); orH <= limit; orH++ {
+		andBudget := limit - orH
+		feasible := true
+		for _, cube := range p.cubes {
+			if len(cube) > 1 && ceilLog2(len(cube)) > andBudget {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		cost := 0.0
+		andShapes := make([]*shape, len(p.cubes))
+		termStates := make([]S, len(p.cubes))
+		ok := true
+		for i, cube := range p.cubes {
+			states := leafStatesOf(cube)
+			if len(cube) == 1 {
+				termStates[i] = states[0]
+				continue
+			}
+			t, err := huffman.BuildBounded(b.and, states, andBudget, modified)
+			if err != nil {
+				ok = false
+				break
+			}
+			andShapes[i] = shapeOf(t)
+			termStates[i] = t.State
+			cost += huffman.TotalCost(b.and, t)
+		}
+		if !ok {
+			continue
+		}
+		orTree, err := huffman.BuildBounded(b.or, termStates, orH, modified)
+		if err != nil {
+			continue
+		}
+		cost += huffman.TotalCost(b.or, orTree)
+		if cost < bestCost {
+			bestCost = cost
+			bestAnd = andShapes
+			bestOr = shapeOf(orTree)
+		}
+	}
+	if bestOr == nil {
+		return false, nil
+	}
+	p.andShapes = bestAnd
+	p.orShape = bestOr
+	return true, nil
+}
+
+// newSignalBuilder prices merges with the closed-form independence
+// formulas of Section 2.1 (Equations 5, 6, 10, 11).
+func newSignalBuilder(opt Options) *builderSet[huffman.Signal] {
+	return &builderSet[huffman.Signal]{
+		and: huffman.SignalAlgebra{Gate: huffman.GateAnd, Style: opt.Style},
+		or:  huffman.SignalAlgebra{Gate: huffman.GateOr, Style: opt.Style},
+		leafState: func(lit literal) huffman.Signal {
+			p := lit.node.Prob1
+			if lit.neg {
+				p = 1 - p
+			}
+			return huffman.SignalFromProb(p)
+		},
+		strategy:    opt.Strategy,
+		quasiLinear: huffman.SignalAlgebra{Style: opt.Style}.QuasiLinear(),
+	}
+}
+
+// newExactBuilder prices merges with global-BDD probabilities, capturing
+// structural correlations between the node's fanins exactly — the BDD
+// alternative the paper offers to the Equation 9 heuristic.
+func newExactBuilder(model *prob.Model, opt Options) *builderSet[bdd.Ref] {
+	mgr := model.Manager()
+	return &builderSet[bdd.Ref]{
+		and: huffman.OracleAlgebra[bdd.Ref]{
+			MergeFn: mgr.And,
+			CostFn:  model.ActivityOfRef,
+		},
+		or: huffman.OracleAlgebra[bdd.Ref]{
+			MergeFn: mgr.Or,
+			CostFn:  model.ActivityOfRef,
+		},
+		leafState: func(lit literal) bdd.Ref {
+			r, ok := model.Global(lit.node)
+			if !ok {
+				panic(fmt.Sprintf("decomp: leaf %s has no global BDD", lit.node.Name))
+			}
+			if lit.neg {
+				return mgr.Not(r)
+			}
+			return r
+		},
+		strategy:    opt.Strategy,
+		quasiLinear: false,
+	}
+}

@@ -1,0 +1,380 @@
+// Package decomp implements the paper's power-efficient technology
+// decomposition (Section 2): every node of an optimized Boolean network is
+// expanded into a tree of 2-input AND/OR gates whose total switching
+// activity is minimized, and the result is converted into the NAND2/INV
+// subject graph consumed by the technology mapper.
+//
+// Three strategies are provided, matching the paper's experimental
+// methods:
+//
+//   - Conventional: balanced trees over arrival-ordered leaves (the SIS
+//     tech_decomp baseline of Methods I and IV);
+//   - MinPower: unrestricted minimum-switching trees (minpower_t_decomp,
+//     Methods II and V) — plain Huffman for quasi-linear (domino) weight
+//     functions, Modified Huffman otherwise (Section 2.1);
+//   - BoundedMinPower: the Section 2.3 driver (bh_minpower_t_decomp,
+//     Methods III and VI) — an unrestricted MINPOWER pass followed by
+//     slack-driven bounded-height re-decomposition of timing-critical
+//     nodes using the (modified) Larmore–Hirschberg construction.
+//
+// Switching activities driving the tree constructions come either from the
+// independence formulas of Section 2.1 (Exact=false) or from exact global
+// BDD probabilities (Exact=true), the alternative the paper offers for
+// correlated signals.
+package decomp
+
+import (
+	"fmt"
+
+	"powermap/internal/huffman"
+	"powermap/internal/network"
+	netopt "powermap/internal/opt"
+	"powermap/internal/prob"
+	"powermap/internal/sop"
+)
+
+// Strategy selects the decomposition algorithm.
+type Strategy int
+
+const (
+	// Conventional builds balanced trees (the baseline).
+	Conventional Strategy = iota
+	// MinPower builds unrestricted minimum-switching-activity trees.
+	MinPower
+	// BoundedMinPower additionally re-decomposes timing-critical nodes
+	// under height bounds derived from unit-delay slack.
+	BoundedMinPower
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Conventional:
+		return "conventional"
+	case MinPower:
+		return "minpower"
+	default:
+		return "bh-minpower"
+	}
+}
+
+// Options configures Decompose.
+type Options struct {
+	Strategy Strategy
+	// Style is the CMOS design style whose switching activity is minimized.
+	Style huffman.Style
+	// Exact prices candidate merges with global-BDD probabilities, which
+	// accounts for structural input correlations (Section 1.4 / the BDD
+	// alternative to Equation 9). When false, the closed-form independence
+	// formulas of Section 2.1 are used.
+	Exact bool
+	// PIProb gives P(pi=1) by name; missing entries default to 0.5.
+	PIProb map[string]float64
+	// PIArrival and PORequired configure the unit-delay timing view used by
+	// BoundedMinPower. A zero PORequired map means "latest arrival", i.e.
+	// re-decomposition only repairs the slack the MINPOWER pass destroyed
+	// relative to the best achievable depth.
+	PIArrival  map[string]float64
+	PORequired map[string]float64
+	// MaxIters caps bounded re-decomposition passes; 0 means 2×#nodes.
+	MaxIters int
+	// Strash structurally hashes the subject graph after conversion,
+	// merging identical NAND/INV nodes created by independent node
+	// expansions. Off by default for fidelity to the paper's pipeline
+	// (SIS tech_decomp performs no sharing pass); enabling it shrinks the
+	// subject graph but also narrows the gap between decomposition
+	// strategies, since the sharing recovers much of what conventional
+	// decomposition loses.
+	Strash bool
+}
+
+// Result is the outcome of a decomposition.
+type Result struct {
+	// Network is the NAND2/INV subject graph (plus PIs).
+	Network *network.Network
+	// Model holds exact probabilities/activities for every subject node.
+	Model *prob.Model
+	// TotalActivity is the decomposition objective: the sum of switching
+	// activities over all internal subject-graph nodes.
+	TotalActivity float64
+	// Depth is the unit-delay depth of the subject graph.
+	Depth float64
+	// Redecompositions counts bounded-height node rebuilds performed.
+	Redecompositions int
+}
+
+// literal is one leaf of a node's AND-OR tree: a fanin in some phase.
+type literal struct {
+	node *network.Node
+	neg  bool
+}
+
+// shape is an algebra-independent binary tree over leaf indices.
+type shape struct {
+	leaf int // leaf index, or -1
+	l, r *shape
+}
+
+func shapeOf[S any](t *huffman.Tree[S]) *shape {
+	if t.IsLeaf() {
+		return &shape{leaf: t.Leaf}
+	}
+	return &shape{leaf: -1, l: shapeOf(t.Left), r: shapeOf(t.Right)}
+}
+
+func (s *shape) height() int {
+	if s == nil || s.leaf >= 0 {
+		return 0
+	}
+	hl, hr := s.l.height(), s.r.height()
+	if hl > hr {
+		return hl + 1
+	}
+	return hr + 1
+}
+
+// leafDepths fills depth[i] for each leaf index.
+func (s *shape) leafDepths(depth []int, d int) {
+	if s.leaf >= 0 {
+		depth[s.leaf] = d
+		return
+	}
+	s.l.leafDepths(depth, d+1)
+	s.r.leafDepths(depth, d+1)
+}
+
+// plan is the decomposition plan of one original node: its cubes, and the
+// chosen tree shapes (andShapes[i] == nil when cube i has a single literal,
+// orShape == nil when there is a single cube).
+type plan struct {
+	n         *network.Node
+	cubes     [][]literal
+	andShapes []*shape
+	orShape   *shape
+	minHeight int  // smallest achievable structure height
+	stuck     bool // bounded re-decomposition cannot tighten further
+	// rebuild re-decomposes the node with structure height ≤ limit,
+	// reporting false when infeasible. Installed by the builder.
+	rebuild func(limit int) (bool, error)
+}
+
+// structureHeight is the AND-OR depth of the planned decomposition.
+func (p *plan) structureHeight() int {
+	if p.orShape == nil {
+		if len(p.andShapes) == 0 || p.andShapes[0] == nil {
+			return 0
+		}
+		return p.andShapes[0].height()
+	}
+	orDepth := make([]int, len(p.cubes))
+	p.orShape.leafDepths(orDepth, 0)
+	h := 0
+	for i := range p.cubes {
+		d := orDepth[i]
+		if p.andShapes[i] != nil {
+			d += p.andShapes[i].height()
+		}
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// leafArrivalDepths returns, for every literal, the total depth of its leaf
+// within the node structure (OR depth + AND depth).
+func (p *plan) leafArrivalDepths() map[*network.Node]int {
+	worst := make(map[*network.Node]int)
+	orDepth := make([]int, len(p.cubes))
+	if p.orShape != nil {
+		p.orShape.leafDepths(orDepth, 0)
+	}
+	for i, cube := range p.cubes {
+		andDepth := make([]int, len(cube))
+		if p.andShapes[i] != nil {
+			p.andShapes[i].leafDepths(andDepth, 0)
+		}
+		for j, lit := range cube {
+			d := orDepth[i] + andDepth[j]
+			if cur, ok := worst[lit.node]; !ok || d > cur {
+				worst[lit.node] = d
+			}
+		}
+	}
+	return worst
+}
+
+// Decompose expands every internal node of nw into minimum-switching
+// NAND2/INV trees per the configured strategy. The input network is not
+// modified.
+func Decompose(nw *network.Network, opt Options) (*Result, error) {
+	cp := nw.Duplicate()
+	cp.Sweep()
+	if err := cp.Check(); err != nil {
+		return nil, fmt.Errorf("decomp: input network: %w", err)
+	}
+	model, err := prob.Compute(cp, opt.PIProb, opt.Style)
+	if err != nil {
+		return nil, fmt.Errorf("decomp: %w", err)
+	}
+
+	// Phase 1: plan a tree for every internal node (postorder).
+	var plans []*plan
+	for _, n := range cp.TopoOrder() {
+		if n.Kind != network.Internal {
+			continue
+		}
+		n.Func.Minimize()
+		if n.Func.IsZero() || n.Func.IsOne() {
+			return nil, fmt.Errorf("decomp: node %s is constant; run opt.Sweep/opt.Optimize first", n.Name)
+		}
+		p, err := makePlan(cp, model, n, opt)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+
+	redecomps := 0
+	if opt.Strategy == BoundedMinPower {
+		if opt.PORequired == nil {
+			// Default performance target: the depth a conventional
+			// (balanced) decomposition would achieve — i.e. bound the
+			// height increase the MINPOWER pass introduced (Section 2.2's
+			// problem statement).
+			req, err := conventionalArrivals(cp, model, opt)
+			if err != nil {
+				return nil, err
+			}
+			opt.PORequired = req
+		}
+		redecomps, err = boundedPass(cp, model, plans, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: materialize the plans as AND2/OR2/INV nodes.
+	inv := newInvCache(cp)
+	for _, p := range plans {
+		if err := materialize(cp, inv, p); err != nil {
+			return nil, err
+		}
+	}
+	// The decomposition objective (total internal switching activity,
+	// Section 2) is measured on the AND/OR tree level: after the NAND/INV
+	// conversion every AND node contributes a complementary NAND+INV pair
+	// whose domino activities sum to exactly 1, which would make the
+	// metric degenerate.
+	totalActivity, err := andOrActivity(cp, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 3: convert to the NAND2/INV basis and clean up.
+	if err := toNandInv(cp, inv); err != nil {
+		return nil, err
+	}
+	sweepBuffersAndInvPairs(cp)
+	if opt.Strash {
+		// Extension: merge identical NAND/INV nodes created by independent
+		// node expansions, shrinking the subject graph the mapper covers.
+		netopt.Strash(cp)
+		sweepBuffersAndInvPairs(cp)
+	}
+	cp.Sweep()
+	if err := cp.Check(); err != nil {
+		return nil, fmt.Errorf("decomp: produced invalid network: %w", err)
+	}
+
+	final, err := prob.Compute(cp, opt.PIProb, opt.Style)
+	if err != nil {
+		return nil, fmt.Errorf("decomp: final probabilities: %w", err)
+	}
+	res := &Result{Network: cp, Model: final, Redecompositions: redecomps, TotalActivity: totalActivity}
+	depth := 0
+	level := make(map[*network.Node]int)
+	for _, n := range cp.TopoOrder() {
+		l := 0
+		for _, f := range n.Fanin {
+			if level[f]+1 > l {
+				l = level[f] + 1
+			}
+		}
+		level[n] = l
+		if l > depth {
+			depth = l
+		}
+	}
+	res.Depth = float64(depth)
+	return res, nil
+}
+
+// andOrActivity sums the exact switching activity over the internal nodes
+// of the materialized AND/OR network (the Section 2 objective value).
+func andOrActivity(cp *network.Network, opt Options) (float64, error) {
+	m, err := prob.Compute(cp, opt.PIProb, opt.Style)
+	if err != nil {
+		return 0, fmt.Errorf("decomp: AND/OR activities: %w", err)
+	}
+	_ = m
+	total := 0.0
+	for _, n := range cp.TopoOrder() {
+		if n.Kind == network.Internal {
+			total += n.Activity
+		}
+	}
+	return total, nil
+}
+
+// makePlan chooses tree shapes for one node under the configured strategy
+// (bounded re-decomposition happens later, against the whole-network view).
+func makePlan(cp *network.Network, model *prob.Model, n *network.Node, opt Options) (*plan, error) {
+	p := &plan{n: n}
+	for _, c := range n.Func.Cubes {
+		var lits []literal
+		for v, l := range c {
+			switch l {
+			case sop.Pos:
+				lits = append(lits, literal{node: n.Fanin[v]})
+			case sop.Neg:
+				lits = append(lits, literal{node: n.Fanin[v], neg: true})
+			}
+		}
+		if len(lits) == 0 {
+			return nil, fmt.Errorf("decomp: node %s has a tautology cube", n.Name)
+		}
+		p.cubes = append(p.cubes, lits)
+	}
+	if opt.Exact {
+		bld := newExactBuilder(model, opt)
+		if err := bld.plan(p); err != nil {
+			return nil, err
+		}
+	} else {
+		bld := newSignalBuilder(opt)
+		if err := bld.plan(p); err != nil {
+			return nil, err
+		}
+	}
+	p.minHeight = minStructureHeight(p)
+	return p, nil
+}
+
+// minStructureHeight is the smallest AND-OR depth any decomposition of the
+// node can achieve: balanced AND trees under a balanced OR tree.
+func minStructureHeight(p *plan) int {
+	maxAnd := 0
+	for _, cube := range p.cubes {
+		if h := ceilLog2(len(cube)); h > maxAnd {
+			maxAnd = h
+		}
+	}
+	return maxAnd + ceilLog2(len(p.cubes))
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}

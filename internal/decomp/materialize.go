@@ -1,0 +1,236 @@
+package decomp
+
+import (
+	"fmt"
+
+	"powermap/internal/network"
+	"powermap/internal/sop"
+)
+
+// Canonical two-input covers used by the subject graph.
+
+// And2Cover returns the cover of a 2-input AND.
+func And2Cover() *sop.Cover {
+	f := sop.NewCover(2)
+	f.AddCube(sop.Cube{sop.Pos, sop.Pos})
+	return f
+}
+
+// Or2Cover returns the cover of a 2-input OR.
+func Or2Cover() *sop.Cover {
+	f := sop.NewCover(2)
+	f.AddCube(sop.Cube{sop.Pos, sop.DC})
+	f.AddCube(sop.Cube{sop.DC, sop.Pos})
+	return f
+}
+
+// Nand2Cover returns the cover of a 2-input NAND.
+func Nand2Cover() *sop.Cover {
+	f := sop.NewCover(2)
+	f.AddCube(sop.Cube{sop.Neg, sop.DC})
+	f.AddCube(sop.Cube{sop.DC, sop.Neg})
+	return f
+}
+
+// InvCover returns the cover of an inverter.
+func InvCover() *sop.Cover { return sop.FromLiteral(1, 0, false) }
+
+// BufCover returns the cover of a buffer.
+func BufCover() *sop.Cover { return sop.FromLiteral(1, 0, true) }
+
+// IsInv reports whether the node is an inverter in canonical form.
+func IsInv(n *network.Node) bool {
+	return n.Kind == network.Internal && len(n.Fanin) == 1 &&
+		len(n.Func.Cubes) == 1 && n.Func.Cubes[0][0] == sop.Neg
+}
+
+// IsBuffer reports whether the node is a buffer in canonical form.
+func IsBuffer(n *network.Node) bool {
+	return n.Kind == network.Internal && len(n.Fanin) == 1 &&
+		len(n.Func.Cubes) == 1 && n.Func.Cubes[0][0] == sop.Pos
+}
+
+// IsAnd2 reports whether the node is a canonical 2-input AND.
+func IsAnd2(n *network.Node) bool {
+	return n.Kind == network.Internal && len(n.Fanin) == 2 &&
+		len(n.Func.Cubes) == 1 &&
+		n.Func.Cubes[0][0] == sop.Pos && n.Func.Cubes[0][1] == sop.Pos
+}
+
+// IsOr2 reports whether the node is a canonical 2-input OR.
+func IsOr2(n *network.Node) bool {
+	if n.Kind != network.Internal || len(n.Fanin) != 2 || len(n.Func.Cubes) != 2 {
+		return false
+	}
+	return matchesTwoCube(n.Func, sop.Pos)
+}
+
+// IsNand2 reports whether the node is a canonical 2-input NAND.
+func IsNand2(n *network.Node) bool {
+	if n.Kind != network.Internal || len(n.Fanin) != 2 || len(n.Func.Cubes) != 2 {
+		return false
+	}
+	return matchesTwoCube(n.Func, sop.Neg)
+}
+
+// matchesTwoCube checks a cover of the form {x-, -x} for literal x.
+func matchesTwoCube(f *sop.Cover, lit sop.Lit) bool {
+	c0, c1 := f.Cubes[0], f.Cubes[1]
+	ok := func(a, b sop.Cube) bool {
+		return a[0] == lit && a[1] == sop.DC && b[0] == sop.DC && b[1] == lit
+	}
+	return ok(c0, c1) || ok(c1, c0)
+}
+
+// invCache creates and reuses inverter nodes per driven signal.
+type invCache struct {
+	nw  *network.Network
+	inv map[*network.Node]*network.Node
+}
+
+func newInvCache(nw *network.Network) *invCache {
+	return &invCache{nw: nw, inv: make(map[*network.Node]*network.Node)}
+}
+
+func (c *invCache) get(x *network.Node) *network.Node {
+	if n, ok := c.inv[x]; ok {
+		return n
+	}
+	n := c.nw.AddNode(c.nw.FreshName("inv"), []*network.Node{x}, InvCover())
+	c.inv[x] = n
+	return n
+}
+
+// materialize expands one planned node into AND2/OR2/INV nodes inside the
+// network, keeping the original node as the root of the new tree so its
+// fanouts and output references are untouched.
+func materialize(nw *network.Network, inv *invCache, p *plan) error {
+	n := p.n
+	// Build a node for the subtree rooted at s over the literal list cube.
+	var buildAnd func(s *shape, cube []literal) *network.Node
+	buildAnd = func(s *shape, cube []literal) *network.Node {
+		if s.leaf >= 0 {
+			lit := cube[s.leaf]
+			if lit.neg {
+				return inv.get(lit.node)
+			}
+			return lit.node
+		}
+		l := buildAnd(s.l, cube)
+		r := buildAnd(s.r, cube)
+		return nw.AddNode(nw.FreshName("d"), []*network.Node{l, r}, And2Cover())
+	}
+
+	terms := make([]*network.Node, len(p.cubes))
+	// Single-cube nodes: the node itself becomes the AND-tree root.
+	if len(p.cubes) == 1 {
+		cube := p.cubes[0]
+		if len(cube) == 1 {
+			lit := cube[0]
+			cov := BufCover()
+			if lit.neg {
+				cov = InvCover()
+			}
+			nw.SetFunction(n, []*network.Node{lit.node}, cov)
+			return nil
+		}
+		s := p.andShapes[0]
+		l := buildAnd(s.l, cube)
+		r := buildAnd(s.r, cube)
+		nw.SetFunction(n, []*network.Node{l, r}, And2Cover())
+		return nil
+	}
+	for i, cube := range p.cubes {
+		if len(cube) == 1 {
+			lit := cube[0]
+			if lit.neg {
+				terms[i] = inv.get(lit.node)
+			} else {
+				terms[i] = lit.node
+			}
+			continue
+		}
+		terms[i] = buildAnd(p.andShapes[i], cube)
+	}
+	var buildOr func(s *shape) *network.Node
+	buildOr = func(s *shape) *network.Node {
+		if s.leaf >= 0 {
+			return terms[s.leaf]
+		}
+		l := buildOr(s.l)
+		r := buildOr(s.r)
+		return nw.AddNode(nw.FreshName("d"), []*network.Node{l, r}, Or2Cover())
+	}
+	if p.orShape == nil {
+		return fmt.Errorf("decomp: node %s has %d cubes but no OR shape", n.Name, len(p.cubes))
+	}
+	l := buildOr(p.orShape.l)
+	r := buildOr(p.orShape.r)
+	nw.SetFunction(n, []*network.Node{l, r}, Or2Cover())
+	return nil
+}
+
+// toNandInv rewrites every AND2/OR2 node into the NAND2/INV basis:
+//
+//	AND2(a,b) → INV(NAND2(a,b))
+//	OR2(a,b)  → NAND2(INV(a), INV(b))
+func toNandInv(nw *network.Network, inv *invCache) error {
+	nodes := append([]*network.Node(nil), nw.Nodes...)
+	for _, n := range nodes {
+		switch {
+		case IsAnd2(n):
+			t := nw.AddNode(nw.FreshName("nd"), []*network.Node{n.Fanin[0], n.Fanin[1]}, Nand2Cover())
+			nw.SetFunction(n, []*network.Node{t}, InvCover())
+		case IsOr2(n):
+			a, b := n.Fanin[0], n.Fanin[1]
+			nw.SetFunction(n, []*network.Node{inv.get(a), inv.get(b)}, Nand2Cover())
+		case IsInv(n) || IsBuffer(n) || IsNand2(n):
+			// Already in the target basis.
+		case n.Kind != network.Internal:
+			// Sources pass through.
+		default:
+			return fmt.Errorf("decomp: node %s has unexpected shape %v after materialization", n.Name, n.Func)
+		}
+	}
+	return nil
+}
+
+// sweepBuffersAndInvPairs removes buffers and collapses inverter chains
+// (INV(INV(x)) → x) by rewiring fanouts and output references, leaving the
+// dead nodes for Network.Sweep.
+func sweepBuffersAndInvPairs(nw *network.Network) {
+	for {
+		changed := false
+		for _, n := range append([]*network.Node(nil), nw.Nodes...) {
+			var repl *network.Node
+			switch {
+			case IsBuffer(n):
+				repl = n.Fanin[0]
+			case IsInv(n) && IsInv(n.Fanin[0]):
+				repl = n.Fanin[0].Fanin[0]
+			default:
+				continue
+			}
+			// A self-replacement cannot happen in an acyclic network, but
+			// guard anyway.
+			if repl == n {
+				continue
+			}
+			for _, fo := range append([]*network.Node(nil), n.Fanout...) {
+				nw.ReplaceFanin(fo, n, repl)
+				changed = true
+			}
+			for i := range nw.Outputs {
+				if nw.Outputs[i].Driver == n {
+					// Keep buffers that adapt a PO name directly driven by
+					// an inverter pair; the driver simply moves to repl.
+					nw.Outputs[i].Driver = repl
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"powermap/internal/core"
+	"powermap/internal/huffman"
+	"powermap/internal/power"
+)
+
+func TestTable1ShapeAndDeterminism(t *testing.T) {
+	rows := Table1(60, 1993)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for i, r := range rows {
+		if r.Inputs != i+3 {
+			t.Errorf("row %d inputs = %d", i, r.Inputs)
+		}
+		if r.PercentOptimal < 70 || r.PercentOptimal > 100 {
+			t.Errorf("n=%d optimality %.1f%% implausible", r.Inputs, r.PercentOptimal)
+		}
+	}
+	// n=3 has only three distinct trees and the greedy evaluates all
+	// pairs, so it must be exactly optimal.
+	if rows[0].PercentOptimal != 100 {
+		t.Errorf("n=3 optimality %.1f%%, want 100", rows[0].PercentOptimal)
+	}
+	again := Table1(60, 1993)
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Error("Table1 is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	out := FormatTable1(Table1(10, 7))
+	if !strings.Contains(out, "numbers of input") || !strings.Contains(out, "3") {
+		t.Errorf("unexpected format:\n%s", out)
+	}
+}
+
+func TestRunSuiteSmall(t *testing.T) {
+	rows, err := RunSuite(core.Methods(), core.Options{Style: huffman.Static}, []string{"cm42a", "alu2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		for _, m := range core.Methods() {
+			rep, ok := r.Results[m]
+			if !ok {
+				t.Fatalf("%s missing method %v", r.Circuit, m)
+			}
+			if rep.Gates == 0 || rep.PowerUW <= 0 || rep.GateArea <= 0 || rep.Delay <= 0 {
+				t.Errorf("%s method %v degenerate: %+v", r.Circuit, m, rep)
+			}
+		}
+		// The headline shape on each circuit: pd-map (IV) beats ad-map (I)
+		// on power under the common constraint.
+		if r.Results[core.MethodIV].PowerUW > r.Results[core.MethodI].PowerUW*1.02 {
+			t.Errorf("%s: pd-map power %.2f not better than ad-map %.2f",
+				r.Circuit, r.Results[core.MethodIV].PowerUW, r.Results[core.MethodI].PowerUW)
+		}
+	}
+	// Formatting and summary must not choke.
+	table := FormatTable(rows, core.Methods())
+	if !strings.Contains(table, "cm42a") || !strings.Contains(table, "alu2") {
+		t.Errorf("format missing circuits:\n%s", table)
+	}
+	s := Summarize(rows)
+	if s.PdPower >= 0 {
+		t.Errorf("summary pd power change %.2f%% not negative", s.PdPower)
+	}
+	txt := FormatSummary(s)
+	if !strings.Contains(txt, "paper") {
+		t.Errorf("summary format:\n%s", txt)
+	}
+}
+
+func TestRunSuiteUnknownCircuit(t *testing.T) {
+	if _, err := RunSuite(core.Methods(), core.Options{Style: huffman.Static}, []string{"bogus"}); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestSortRowsByTableOrder(t *testing.T) {
+	rows := []CircuitRow{{Circuit: "alu2"}, {Circuit: "s208"}, {Circuit: "cm42a"}}
+	SortRowsByTableOrder(rows)
+	if rows[0].Circuit != "s208" || rows[1].Circuit != "cm42a" || rows[2].Circuit != "alu2" {
+		t.Errorf("order: %v %v %v", rows[0].Circuit, rows[1].Circuit, rows[2].Circuit)
+	}
+}
+
+func TestSummarizeArithmetic(t *testing.T) {
+	mk := func(a, d, p float64) power.Report { return power.Report{GateArea: a, Delay: d, PowerUW: p} }
+	rows := []CircuitRow{{
+		Circuit: "x",
+		Results: map[core.Method]power.Report{
+			core.MethodI:   mk(100, 10, 100),
+			core.MethodII:  mk(100, 10, 90), // -10%
+			core.MethodIII: mk(100, 10, 90),
+			core.MethodIV:  mk(110, 10, 80), // vs I: +10% area, -20% power
+			core.MethodV:   mk(110, 10, 72), // vs IV: -10% power
+			core.MethodVI:  mk(110, 10, 72),
+		},
+	}}
+	s := Summarize(rows)
+	if !closeTo(s.MinpowerPower, -10) {
+		t.Errorf("MinpowerPower = %v, want -10", s.MinpowerPower)
+	}
+	if !closeTo(s.PdArea, 10) {
+		t.Errorf("PdArea = %v, want 10", s.PdArea)
+	}
+	// PdPower: IV/I = -20, V/II = -20, VI/III = -20.
+	if !closeTo(s.PdPower, -20) {
+		t.Errorf("PdPower = %v, want -20", s.PdPower)
+	}
+	if !closeTo(s.BHDelay, 0) {
+		t.Errorf("BHDelay = %v, want 0", s.BHDelay)
+	}
+}
+
+func closeTo(got, want float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestCorrelatedExperiment(t *testing.T) {
+	// With independent inputs both trees must measure (statistically) the
+	// same; with strong pair correlation the Equation 7–9 tree must win.
+	indep, err := Correlated(4, 0, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := indep.ImprovementPct; d > 3 || d < -3 {
+		t.Errorf("rho=0: improvement %.1f%% should be ~0", d)
+	}
+	strong, err := Correlated(4, 0.9, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.ImprovementPct < 5 {
+		t.Errorf("rho=0.9: improvement %.1f%%, want clearly positive", strong.ImprovementPct)
+	}
+	if strong.CorrMeasured >= strong.IndepMeasured {
+		t.Errorf("correlated tree %.4f not below independence tree %.4f",
+			strong.CorrMeasured, strong.IndepMeasured)
+	}
+}
+
+func TestCorrelatedValidation(t *testing.T) {
+	if _, err := Correlated(1, 0.5, 100, 1); err == nil {
+		t.Error("single pair accepted")
+	}
+	if _, err := Correlated(3, 1.5, 100, 1); err == nil {
+		t.Error("rho > 1 accepted")
+	}
+	if _, err := Correlated(3, 0.5, 0, 1); err == nil {
+		t.Error("zero vectors accepted")
+	}
+}
+
+func TestFormatCorrelated(t *testing.T) {
+	r, err := Correlated(3, 0.5, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatCorrelated([]CorrelatedResult{r})
+	if !strings.Contains(out, "rho") || !strings.Contains(out, "0.50") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestSuiteNames(t *testing.T) {
+	names := SuiteNames()
+	if len(names) != 17 || names[0] != "s208" || names[len(names)-1] != "ex2" {
+		t.Errorf("suite names: %v", names)
+	}
+}

@@ -1,0 +1,58 @@
+package genlib
+
+import "testing"
+
+// FuzzParseExpr exercises the genlib expression parser: it must never
+// panic, and accepted expressions must round-trip through String.
+func FuzzParseExpr(f *testing.F) {
+	for _, s := range []string{
+		"a", "!a", "a*b", "a+b*c", "!(a*b+c)", "((a))", "a'", "a b",
+		"!(a+b)*(c+d)", "x1*x2+x3'",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := ParseExpr(input)
+		if err != nil {
+			return
+		}
+		back, err := ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("String output %q does not reparse: %v", e.String(), err)
+		}
+		// Same variables; semantic equality spot-checked on one assignment.
+		va, vb := e.Vars(), back.Vars()
+		if len(va) != len(vb) {
+			t.Fatalf("variable count changed: %v vs %v", va, vb)
+		}
+		assign := map[string]bool{}
+		for i, v := range va {
+			assign[v] = i%2 == 0
+		}
+		if e.Eval(assign) != back.Eval(assign) {
+			t.Fatalf("round trip changed semantics for %q", input)
+		}
+	})
+}
+
+// FuzzParseGenlib exercises the full library parser.
+func FuzzParseGenlib(f *testing.F) {
+	f.Add("GATE inv 1 O=!a;\nPIN * INV 1 99 1 1 1 1\nGATE nd 2 O=!(a*b);\nPIN * INV 1 99 1 1 1 1\n")
+	f.Add(lib2Text)
+	f.Add("GATE g 1 O=a*!b;\nPIN a NONINV 1 9 1 1 1 1\nPIN b INV 1 9 1 1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		lib, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		// Accepted libraries must have valid lookups and patterns.
+		if lib.Inverter() == nil || lib.Nand2() == nil {
+			t.Fatal("accepted library lacks inverter or nand2")
+		}
+		for _, c := range lib.Cells {
+			if len(c.Patterns) == 0 {
+				t.Fatalf("cell %s has no patterns", c.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearBoundedDepthsRandomOptimal(t *testing.T) {
+	// Property: the classic package-merge minimizes Σ wᵢ·lᵢ over all valid
+	// bounded depth profiles, for random weights.
+	r := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(5)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 0.1 + 10*r.Float64()
+		}
+		minL := ceilLog2(n)
+		for L := minL; L <= minL+2; L++ {
+			depths, ok := linearBoundedDepths(weights, L)
+			if !ok {
+				t.Fatalf("n=%d L=%d: no profile", n, L)
+			}
+			if !validDepths(depths, L) {
+				t.Fatalf("n=%d L=%d: invalid profile %v", n, L, depths)
+			}
+			// depths[i] is the depth of original leaf i (counts are kept
+			// per original index through the internal sorting).
+			cost := 0.0
+			for i, d := range depths {
+				cost += weights[i] * float64(d)
+			}
+			best := bruteBoundedLinear(weights, L)
+			if cost > best+1e-9 {
+				t.Fatalf("n=%d L=%d: package-merge cost %v > optimal %v (weights %v depths %v)",
+					n, L, cost, best, weights, depths)
+			}
+		}
+	}
+}
+
+func TestBalancedDepthsAlwaysValid(t *testing.T) {
+	for n := 2; n <= 33; n++ {
+		d := balancedDepths(n, ceilLog2(n))
+		if !validDepths(d, ceilLog2(n)) {
+			t.Errorf("n=%d: balanced depths %v invalid", n, d)
+		}
+	}
+}
+
+func TestValidDepths(t *testing.T) {
+	cases := []struct {
+		depths []int
+		limit  int
+		want   bool
+	}{
+		{[]int{1, 1}, 1, true},
+		{[]int{1, 2, 2}, 2, true},
+		{[]int{2, 2, 2, 2}, 2, true},
+		{[]int{1, 1, 1}, 2, false}, // Kraft > 1
+		{[]int{2, 2, 2}, 2, false}, // Kraft < 1
+		{[]int{0, 1}, 1, false},    // depth 0 forbidden
+		{[]int{1, 3}, 2, false},    // exceeds limit
+		{[]int{1, 2, 3, 3}, 3, true},
+	}
+	for _, tc := range cases {
+		if got := validDepths(tc.depths, tc.limit); got != tc.want {
+			t.Errorf("validDepths(%v, %d) = %v, want %v", tc.depths, tc.limit, got, tc.want)
+		}
+	}
+}
+
+func TestBuildBoundedMatchesTheorem23(t *testing.T) {
+	// Theorem 2.3 regime: domino (quasi-linear) weights. BuildBounded must
+	// track the bounded enumeration optimum closely; measure the rate.
+	r := rand.New(rand.NewSource(89))
+	alg := SignalAlgebra{Gate: GateAnd, Style: DominoP}
+	matches, trials := 0, 0
+	worst := 1.0
+	for trial := 0; trial < 80; trial++ {
+		n := 4 + r.Intn(4)
+		leaves := make([]Signal, n)
+		for i := range leaves {
+			leaves[i] = SignalFromProb(0.05 + 0.9*r.Float64())
+		}
+		L := ceilLog2(n)
+		tr, err := BuildBounded[Signal](alg, leaves, L, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := TotalCost[Signal](alg, tr)
+		_, opt := Enumerate[Signal](alg, leaves, L)
+		trials++
+		if got <= opt+1e-9 {
+			matches++
+		}
+		if opt > 0 && got/opt > worst {
+			worst = got / opt
+		}
+	}
+	if rate := float64(matches) / float64(trials); rate < 0.70 {
+		t.Errorf("bounded construction optimal in only %.0f%% of trials", 100*rate)
+	}
+	if worst > 1.2 {
+		t.Errorf("worst bounded ratio %.3f exceeds 1.2", worst)
+	}
+}
+
+func TestBuildBoundedModifiedStatic(t *testing.T) {
+	// The general-F (modified) variant under the static model.
+	r := rand.New(rand.NewSource(97))
+	alg := SignalAlgebra{Gate: GateAnd, Style: Static}
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(4)
+		leaves := make([]Signal, n)
+		for i := range leaves {
+			leaves[i] = SignalFromProb(r.Float64())
+		}
+		L := ceilLog2(n)
+		tr, err := BuildBounded[Signal](alg, leaves, L, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Height() > L {
+			t.Fatalf("height %d > %d", tr.Height(), L)
+		}
+		got := TotalCost[Signal](alg, tr)
+		_, opt := Enumerate[Signal](alg, leaves, L)
+		if got < opt-1e-9 {
+			t.Fatalf("impossible: %v < bounded optimum %v", got, opt)
+		}
+		if opt > 0 && got/opt > 1.35 {
+			t.Errorf("static bounded ratio %.3f too far off", got/opt)
+		}
+	}
+}
+
+func TestPackLevelModifiedPairsAll(t *testing.T) {
+	// The modified PACKAGE step must consume items in pairs, halving the
+	// list (odd leftover dropped), like the classic step.
+	alg := SignalAlgebra{Gate: GateAnd, Style: DominoP}
+	items := make([]pmItem[Signal], 7)
+	for i := range items {
+		s := SignalFromProb(float64(i+1) / 8)
+		counts := make([]int, 7)
+		counts[i] = 1
+		items[i] = pmItem[Signal]{state: s, cost: alg.Cost(s), counts: counts}
+	}
+	out := packLevel[Signal](alg, items, true)
+	if len(out) != 3 {
+		t.Fatalf("modified packaging produced %d packages from 7 items, want 3", len(out))
+	}
+	classic := packLevel[Signal](alg, items, false)
+	if len(classic) != 3 {
+		t.Fatalf("classic packaging produced %d packages from 7 items, want 3", len(classic))
+	}
+	// Packages carry merged leaf counts.
+	for _, p := range out {
+		total := 0
+		for _, c := range p.counts {
+			total += c
+		}
+		if total != 2 {
+			t.Errorf("package holds %d leaves, want 2", total)
+		}
+	}
+}
+
+func TestBoundedGreedyFallbackNeverExceedsBound(t *testing.T) {
+	alg := SignalAlgebra{Gate: GateAnd, Style: DominoP}
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(14)
+		leaves := make([]Signal, n)
+		for i := range leaves {
+			leaves[i] = SignalFromProb(r.Float64())
+		}
+		L := ceilLog2(n) + r.Intn(3)
+		tr := buildBoundedGreedy[Signal](alg, leaves, L)
+		if tr == nil {
+			t.Fatalf("greedy returned nil for n=%d L=%d", n, L)
+		}
+		if tr.Height() > L {
+			t.Fatalf("greedy height %d > %d", tr.Height(), L)
+		}
+		if got := tr.Leaves(); got != n {
+			t.Fatalf("greedy lost leaves: %d != %d", got, n)
+		}
+		if math.IsNaN(TotalCost[Signal](alg, tr)) {
+			t.Fatal("NaN cost")
+		}
+	}
+}

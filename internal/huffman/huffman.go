@@ -1,0 +1,593 @@
+// Package huffman implements the weighted binary-tree construction
+// algorithms of Section 2 of the paper:
+//
+//   - Algorithm 2.1, Huffman's construction, optimal for quasi-linear weight
+//     combination functions (domino CMOS with uncorrelated inputs);
+//   - Algorithm 2.2, the Modified Huffman greedy construction for general
+//     weight combination functions (static CMOS, correlated inputs);
+//   - Algorithm 2.3, the Larmore–Hirschberg package-merge construction for
+//     BOUNDED-HEIGHT trees, in both its classic pairing form and the
+//     paper's modified (min-F pairing) form;
+//   - a balanced construction (the conventional-decomposition baseline);
+//   - an exhaustive enumerator used as the optimality oracle (Table 1).
+//
+// The algorithms are generic over the subtree state type S and an Algebra
+// that combines two child states into a parent state and prices a state.
+// The tree cost function G is the sum of Cost over all internal nodes,
+// which is the paper's total-switching-activity objective.
+package huffman
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Algebra combines child states and prices the resulting node.
+type Algebra[S any] interface {
+	// Merge returns the state of a parent whose children have states a and b.
+	Merge(a, b S) S
+	// Cost returns the switching cost charged for a node with state s.
+	Cost(s S) float64
+}
+
+// Tree is a binary decomposition tree. Leaves carry the index of the
+// corresponding input in the original leaf slice; internal nodes have both
+// children non-nil.
+type Tree[S any] struct {
+	Leaf        int // leaf index, or -1 for internal nodes
+	State       S
+	Left, Right *Tree[S]
+}
+
+// IsLeaf reports whether t is a leaf.
+func (t *Tree[S]) IsLeaf() bool { return t.Left == nil }
+
+// Height returns the edge-count height of the tree (0 for a leaf).
+func (t *Tree[S]) Height() int {
+	if t.IsLeaf() {
+		return 0
+	}
+	l, r := t.Left.Height(), t.Right.Height()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaves under t.
+func (t *Tree[S]) Leaves() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	return t.Left.Leaves() + t.Right.Leaves()
+}
+
+// TotalCost returns the tree cost G: the sum of Cost over internal nodes.
+func TotalCost[S any](alg Algebra[S], t *Tree[S]) float64 {
+	if t == nil || t.IsLeaf() {
+		return 0
+	}
+	return alg.Cost(t.State) + TotalCost(alg, t.Left) + TotalCost(alg, t.Right)
+}
+
+func leafTrees[S any](leaves []S) []*Tree[S] {
+	ts := make([]*Tree[S], len(leaves))
+	for i, s := range leaves {
+		ts[i] = &Tree[S]{Leaf: i, State: s}
+	}
+	return ts
+}
+
+func merge[S any](alg Algebra[S], a, b *Tree[S]) *Tree[S] {
+	return &Tree[S]{Leaf: -1, State: alg.Merge(a.State, b.State), Left: a, Right: b}
+}
+
+// Build implements Algorithm 2.1: repeatedly merge the two subtrees of
+// smallest cost. Optimal when the weight combination function is
+// quasi-linear (Theorem 2.2). It panics on an empty leaf slice.
+func Build[S any](alg Algebra[S], leaves []S) *Tree[S] {
+	work := leafTreesChecked[S](leaves)
+	for len(work) > 1 {
+		// Select the two minimum-cost subtrees.
+		i0, i1 := minTwo(alg, work)
+		m := merge(alg, work[i0], work[i1])
+		work = replacePair(work, i0, i1, m)
+	}
+	return work[0]
+}
+
+func leafTreesChecked[S any](leaves []S) []*Tree[S] {
+	if len(leaves) == 0 {
+		panic("huffman: no leaves")
+	}
+	return leafTrees(leaves)
+}
+
+func minTwo[S any](alg Algebra[S], work []*Tree[S]) (int, int) {
+	i0, i1 := -1, -1
+	c0, c1 := math.Inf(1), math.Inf(1)
+	for i, t := range work {
+		c := alg.Cost(t.State)
+		switch {
+		case c < c0:
+			i1, c1 = i0, c0
+			i0, c0 = i, c
+		case c < c1:
+			i1, c1 = i, c
+		}
+	}
+	return i0, i1
+}
+
+func replacePair[S any](work []*Tree[S], i0, i1 int, m *Tree[S]) []*Tree[S] {
+	if i1 < i0 {
+		i0, i1 = i1, i0
+	}
+	work[i0] = m
+	work[i1] = work[len(work)-1]
+	return work[:len(work)-1]
+}
+
+// BuildModified implements Algorithm 2.2: at each step merge the pair whose
+// combined node has minimum cost. This is the greedy heuristic the paper
+// uses for non-quasi-linear weight combination functions.
+func BuildModified[S any](alg Algebra[S], leaves []S) *Tree[S] {
+	work := leafTreesChecked[S](leaves)
+	for len(work) > 1 {
+		bi, bj := bestPair(alg, work)
+		m := merge(alg, work[bi], work[bj])
+		work = replacePair(work, bi, bj, m)
+	}
+	return work[0]
+}
+
+func bestPair[S any](alg Algebra[S], work []*Tree[S]) (int, int) {
+	bi, bj := -1, -1
+	best := math.Inf(1)
+	for i := 0; i < len(work); i++ {
+		for j := i + 1; j < len(work); j++ {
+			c := alg.Cost(alg.Merge(work[i].State, work[j].State))
+			if c < best {
+				best, bi, bj = c, i, j
+			}
+		}
+	}
+	return bi, bj
+}
+
+// BuildBalanced builds a balanced tree over the leaves in the given order by
+// pairing adjacent subtrees round by round. This models the conventional
+// technology decomposition used as the paper's baseline (Methods I and IV).
+func BuildBalanced[S any](alg Algebra[S], leaves []S) *Tree[S] {
+	work := leafTreesChecked[S](leaves)
+	for len(work) > 1 {
+		var next []*Tree[S]
+		for i := 0; i+1 < len(work); i += 2 {
+			next = append(next, merge(alg, work[i], work[i+1]))
+		}
+		if len(work)%2 == 1 {
+			next = append(next, work[len(work)-1])
+		}
+		work = next
+	}
+	return work[0]
+}
+
+// Enumerate exhaustively searches all binary trees over the leaves (all
+// (2n-3)!! shapes) and returns a minimum-cost tree and its cost. When
+// maxHeight > 0, only trees of height at most maxHeight are considered; it
+// returns nil if no tree satisfies the bound. Exponential; intended for the
+// Table 1 experiment and as a test oracle (n ≤ 8 or so).
+func Enumerate[S any](alg Algebra[S], leaves []S, maxHeight int) (*Tree[S], float64) {
+	work := leafTreesChecked[S](leaves)
+	var best *Tree[S]
+	bestCost := math.Inf(1)
+	var rec func(ts []*Tree[S], acc float64)
+	rec = func(ts []*Tree[S], acc float64) {
+		if acc >= bestCost {
+			return // branch-and-bound: costs are non-negative
+		}
+		if len(ts) == 1 {
+			t := ts[0]
+			if maxHeight > 0 && t.Height() > maxHeight {
+				return
+			}
+			best, bestCost = t, acc
+			return
+		}
+		for i := 0; i < len(ts); i++ {
+			for j := i + 1; j < len(ts); j++ {
+				m := merge(alg, ts[i], ts[j])
+				next := make([]*Tree[S], 0, len(ts)-1)
+				for k, t := range ts {
+					if k != i && k != j {
+						next = append(next, t)
+					}
+				}
+				next = append(next, m)
+				rec(next, acc+alg.Cost(m.State))
+			}
+		}
+	}
+	rec(work, 0)
+	return best, bestCost
+}
+
+// BuildBounded implements Algorithm 2.3: the Larmore–Hirschberg
+// package-merge construction of a minimum-cost tree of height at most limit.
+// With modified=false the PACKAGE step pairs consecutive items in cost
+// order (the classic algorithm, optimal for quasi-linear weight
+// combinations, Theorem 2.3); with modified=true it pairs items by minimum
+// combined cost, the paper's O(n²L) generalization for arbitrary weight
+// combination functions.
+//
+// It returns an error when limit < ceil(log2(n)), for which no binary tree
+// exists.
+func BuildBounded[S any](alg Algebra[S], leaves []S, limit int, modified bool) (*Tree[S], error) {
+	n := len(leaves)
+	if n == 0 {
+		return nil, fmt.Errorf("huffman: no leaves")
+	}
+	if n == 1 {
+		return &Tree[S]{Leaf: 0, State: leaves[0]}, nil
+	}
+	if limit < ceilLog2(n) {
+		return nil, fmt.Errorf("huffman: height bound %d < ceil(log2(%d)) = %d", limit, n, ceilLog2(n))
+	}
+	// Unbounded result may already satisfy the bound; prefer it since the
+	// bounded construction can only match or worsen the cost.
+	var unb *Tree[S]
+	if modified {
+		unb = BuildModified(alg, leaves)
+	} else {
+		unb = Build(alg, leaves)
+	}
+	if unb.Height() <= limit {
+		return unb, nil
+	}
+	// Generate candidate trees from several constructions and keep the
+	// cheapest: exhaustive search when the instance is small enough, the
+	// feasibility-constrained greedy, the generalized package-merge
+	// profile, the classic linear package-merge profile, and a balanced
+	// profile as a guaranteed-feasible fallback.
+	var candidates []*Tree[S]
+	if n <= 8 {
+		// (2n-3)!! ≤ 10395 shapes with branch-and-bound: exact and cheap.
+		if tr, _ := Enumerate(alg, leaves, limit); tr != nil {
+			candidates = append(candidates, tr)
+		}
+	}
+	candidates = append(candidates, buildBoundedGreedy(alg, leaves, limit))
+	if depths, ok := packageMerge(alg, leaves, limit, modified); ok {
+		if t, err := treeFromDepths(alg, leaves, depths); err == nil {
+			candidates = append(candidates, t)
+		}
+	}
+	costs := make([]float64, n)
+	for i, s := range leaves {
+		costs[i] = alg.Cost(s)
+	}
+	if depths, ok := linearBoundedDepths(costs, limit); ok {
+		if t, err := treeFromDepths(alg, leaves, depths); err == nil {
+			candidates = append(candidates, t)
+		}
+	}
+	if t, err := treeFromDepths(alg, leaves, balancedDepths(n, limit)); err == nil {
+		candidates = append(candidates, t)
+	}
+	var best *Tree[S]
+	bestCost := math.Inf(1)
+	for _, t := range candidates {
+		if t == nil || t.Height() > limit {
+			continue
+		}
+		if c := TotalCost(alg, t); c < bestCost {
+			best, bestCost = t, c
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("huffman: no bounded tree found for n=%d, limit=%d", n, limit)
+	}
+	return best, nil
+}
+
+// buildBoundedGreedy merges the feasible pair with minimum combined cost at
+// each step, where a merge is feasible when the remaining subtrees can still
+// be packed into a tree of height ≤ limit (Kraft condition Σ 2^hᵢ ≤ 2^limit
+// over subtree heights hᵢ).
+func buildBoundedGreedy[S any](alg Algebra[S], leaves []S, limit int) *Tree[S] {
+	type item struct {
+		t *Tree[S]
+		h int
+	}
+	work := make([]item, len(leaves))
+	for i, s := range leaves {
+		work[i] = item{t: &Tree[S]{Leaf: i, State: s}, h: 0}
+	}
+	sum := int64(len(leaves))
+	capSum := int64(1) << uint(limit)
+	for len(work) > 1 {
+		bi, bj := -1, -1
+		bestCost := math.Inf(1)
+		var bestSum int64 = math.MaxInt64
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				newH := work[i].h
+				if work[j].h > newH {
+					newH = work[j].h
+				}
+				newH++
+				newSum := sum - (1 << uint(work[i].h)) - (1 << uint(work[j].h)) + (1 << uint(newH))
+				if newH > limit || newSum > capSum {
+					continue
+				}
+				c := alg.Cost(alg.Merge(work[i].t.State, work[j].t.State))
+				if c < bestCost || (c == bestCost && newSum < bestSum) {
+					bestCost, bestSum, bi, bj = c, newSum, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			// No pair passed the feasibility scan; merge the two shallowest
+			// subtrees, which perturbs the Kraft sum least.
+			s0, s1 := 0, 1
+			for k := 2; k < len(work); k++ {
+				if work[k].h < work[s0].h {
+					s1, s0 = s0, k
+				} else if work[k].h < work[s1].h {
+					s1 = k
+				}
+			}
+			bi, bj = s0, s1
+			if bi > bj {
+				bi, bj = bj, bi
+			}
+		}
+		newH := work[bi].h
+		if work[bj].h > newH {
+			newH = work[bj].h
+		}
+		newH++
+		sum = sum - (1 << uint(work[bi].h)) - (1 << uint(work[bj].h)) + (1 << uint(newH))
+		m := item{t: merge(alg, work[bi].t, work[bj].t), h: newH}
+		work[bi] = m
+		work[bj] = work[len(work)-1]
+		work = work[:len(work)-1]
+	}
+	if work[0].h > limit {
+		return nil
+	}
+	return work[0].t
+}
+
+// linearBoundedDepths is the classic Larmore–Hirschberg algorithm on scalar
+// additive weights: it minimizes Σ wᵢ·lᵢ subject to lᵢ ≤ limit and returns
+// the optimal depth profile.
+func linearBoundedDepths(weights []float64, limit int) ([]int, bool) {
+	type item struct {
+		weight float64
+		counts []int
+	}
+	n := len(weights)
+	mkLeaves := func() []item {
+		items := make([]item, n)
+		for i, w := range weights {
+			counts := make([]int, n)
+			counts[i] = 1
+			items[i] = item{weight: w, counts: counts}
+		}
+		sort.SliceStable(items, func(a, b int) bool { return items[a].weight < items[b].weight })
+		return items
+	}
+	cur := mkLeaves()
+	for d := limit; d >= 2; d-- {
+		var packages []item
+		for i := 0; i+1 < len(cur); i += 2 {
+			counts := make([]int, n)
+			for k := range counts {
+				counts[k] = cur[i].counts[k] + cur[i+1].counts[k]
+			}
+			packages = append(packages, item{weight: cur[i].weight + cur[i+1].weight, counts: counts})
+		}
+		next := append(mkLeaves(), packages...)
+		sort.SliceStable(next, func(a, b int) bool { return next[a].weight < next[b].weight })
+		cur = next
+	}
+	if len(cur) < 2*n-2 {
+		return nil, false
+	}
+	depths := make([]int, n)
+	for _, it := range cur[:2*n-2] {
+		for i, c := range it.counts {
+			depths[i] += c
+		}
+	}
+	return depths, validDepths(depths, limit)
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+func balancedDepths(n, limit int) []int {
+	// A complete binary tree: some leaves at depth d, the rest at d-1.
+	d := ceilLog2(n)
+	if d < 1 {
+		d = 1
+	}
+	deep := 2 * (n - 1<<(d-1)) // leaves at depth d
+	depths := make([]int, n)
+	for i := range depths {
+		if i < deep {
+			depths[i] = d
+		} else {
+			depths[i] = d - 1
+		}
+	}
+	if n == 1 {
+		depths[0] = 0
+	}
+	_ = limit
+	return depths
+}
+
+// pmItem is one entry of a package-merge level list: either an original
+// leaf or a package of two lower-level items.
+type pmItem[S any] struct {
+	state  S
+	cost   float64
+	counts []int // occurrences per leaf index
+}
+
+// packageMerge runs the (generalized) package-merge construction and
+// returns the per-leaf depths, with ok=false when the selected node set is
+// not a valid tree profile (possible for non-additive cost algebras).
+func packageMerge[S any](alg Algebra[S], leaves []S, limit int, modified bool) ([]int, bool) {
+	n := len(leaves)
+	mkLeafItems := func() []pmItem[S] {
+		items := make([]pmItem[S], n)
+		for i, s := range leaves {
+			counts := make([]int, n)
+			counts[i] = 1
+			items[i] = pmItem[S]{state: s, cost: alg.Cost(s), counts: counts}
+		}
+		sort.SliceStable(items, func(a, b int) bool { return items[a].cost < items[b].cost })
+		return items
+	}
+	cur := mkLeafItems()
+	for d := limit; d >= 2; d-- {
+		packages := packLevel(alg, cur, modified)
+		next := append(mkLeafItems(), packages...)
+		sort.SliceStable(next, func(a, b int) bool { return next[a].cost < next[b].cost })
+		cur = next
+	}
+	// Select the first 2n-2 items of the level-1 list.
+	if len(cur) < 2*n-2 {
+		return nil, false
+	}
+	depths := make([]int, n)
+	for _, it := range cur[:2*n-2] {
+		for i, c := range it.counts {
+			depths[i] += c
+		}
+	}
+	return depths, validDepths(depths, limit)
+}
+
+func packLevel[S any](alg Algebra[S], items []pmItem[S], modified bool) []pmItem[S] {
+	combine := func(a, b pmItem[S]) pmItem[S] {
+		st := alg.Merge(a.state, b.state)
+		counts := make([]int, len(a.counts))
+		for i := range counts {
+			counts[i] = a.counts[i] + b.counts[i]
+		}
+		return pmItem[S]{state: st, cost: alg.Cost(st), counts: counts}
+	}
+	if !modified {
+		var out []pmItem[S]
+		for i := 0; i+1 < len(items); i += 2 {
+			out = append(out, combine(items[i], items[i+1]))
+		}
+		return out
+	}
+	// Modified PACKAGE: greedily extract the pair with minimum combined
+	// cost, as in Algorithm 2.2.
+	work := append([]pmItem[S](nil), items...)
+	var out []pmItem[S]
+	for len(work) >= 2 {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				if c := alg.Cost(alg.Merge(work[i].state, work[j].state)); c < best {
+					best, bi, bj = c, i, j
+				}
+			}
+		}
+		out = append(out, combine(work[bi], work[bj]))
+		work[bi] = work[len(work)-1]
+		work = work[:len(work)-1]
+		if bj == len(work) { // bj pointed at the element we moved into bi
+			bj = bi
+		}
+		work[bj] = work[len(work)-1]
+		work = work[:len(work)-1]
+	}
+	return out
+}
+
+// validDepths checks the Kraft equality Σ 2^-l = 1 with every l in [1,limit].
+func validDepths(depths []int, limit int) bool {
+	sum := int64(0)
+	unit := int64(1) << uint(limit)
+	for _, d := range depths {
+		if d < 1 || d > limit {
+			return false
+		}
+		sum += unit >> uint(d)
+	}
+	return sum == unit
+}
+
+// treeFromDepths assembles a tree realizing the given leaf depths (which
+// must satisfy the Kraft equality). Within each level two pairing
+// heuristics are evaluated — cheapest-with-most-expensive (which minimizes
+// sums of products by the rearrangement inequality) and adjacent-in-cost-
+// order — and the pairing with smaller total node cost at that level wins.
+func treeFromDepths[S any](alg Algebra[S], leaves []S, depths []int) (*Tree[S], error) {
+	maxD := 0
+	for _, d := range depths {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	byDepth := make([][]*Tree[S], maxD+1)
+	for i, s := range leaves {
+		byDepth[depths[i]] = append(byDepth[depths[i]], &Tree[S]{Leaf: i, State: s})
+	}
+	for d := maxD; d >= 1; d-- {
+		level := byDepth[d]
+		if len(level)%2 != 0 {
+			return nil, fmt.Errorf("huffman: odd node count %d at depth %d (invalid Kraft profile)", len(level), d)
+		}
+		sort.SliceStable(level, func(a, b int) bool {
+			return alg.Cost(level[a].State) < alg.Cost(level[b].State)
+		})
+		k := len(level)
+		pairAcross := func() ([]*Tree[S], float64) {
+			out := make([]*Tree[S], 0, k/2)
+			total := 0.0
+			for i := 0; i < k/2; i++ {
+				m := merge(alg, level[i], level[k-1-i])
+				total += alg.Cost(m.State)
+				out = append(out, m)
+			}
+			return out, total
+		}
+		pairAdjacent := func() ([]*Tree[S], float64) {
+			out := make([]*Tree[S], 0, k/2)
+			total := 0.0
+			for i := 0; i+1 < k; i += 2 {
+				m := merge(alg, level[i], level[i+1])
+				total += alg.Cost(m.State)
+				out = append(out, m)
+			}
+			return out, total
+		}
+		p1, c1 := pairAcross()
+		p2, c2 := pairAdjacent()
+		promoted := p1
+		if c2 < c1 {
+			promoted = p2
+		}
+		byDepth[d-1] = append(byDepth[d-1], promoted...)
+	}
+	if len(byDepth[0]) != 1 {
+		return nil, fmt.Errorf("huffman: depth profile does not reduce to a single root")
+	}
+	return byDepth[0][0], nil
+}

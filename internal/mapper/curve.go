@@ -1,0 +1,129 @@
+package mapper
+
+import (
+	"math"
+	"sort"
+
+	"powermap/internal/genlib"
+	"powermap/internal/network"
+)
+
+// InputChoice records, for one input of a selected match, which point on
+// the input node's curve realizes the match's arrival/cost trade-off.
+type InputChoice struct {
+	Node  *network.Node
+	Pin   int // cell pin index at the parent gate
+	Point int // index into the input node's curve
+}
+
+// Point is one non-inferior solution on a node's power-delay (or
+// area-delay) curve: the arrival time at the node output assuming the
+// default load, and the accumulated cost of its mapped transitive fanin
+// cone excluding the node's own output charge (Method 1, Section 3.1).
+type Point struct {
+	Arrival float64
+	Cost    float64
+	// Cell is the gate matched at the node for this point (nil on source
+	// nodes, whose single point represents the driver).
+	Cell *genlib.Cell
+	// Drive is the drive resistance used to shift this point's arrival
+	// when the actual load differs from the default (Subsection 3.2.3).
+	Drive float64
+	// Inputs identifies the curve points chosen at inputs(n,g).
+	Inputs []InputChoice
+}
+
+// Curve is a monotone non-increasing sequence of non-inferior points
+// ordered by arrival (Lemma 3.1).
+type Curve struct {
+	Points []Point
+}
+
+// prune sorts by (arrival, cost) and removes inferior points: a point is
+// kept only if no other point has both arrival ≤ and cost ≤ (with at least
+// one strict). Then ε-pruning drops points whose arrival is within eps of
+// the previous kept point (keeping the cheaper), bounding curve size.
+func (c *Curve) prune(eps float64) {
+	if len(c.Points) == 0 {
+		return
+	}
+	sort.SliceStable(c.Points, func(i, j int) bool {
+		if c.Points[i].Arrival != c.Points[j].Arrival {
+			return c.Points[i].Arrival < c.Points[j].Arrival
+		}
+		return c.Points[i].Cost < c.Points[j].Cost
+	})
+	out := c.Points[:0]
+	bestCost := math.Inf(1)
+	for _, p := range c.Points {
+		if p.Cost < bestCost-1e-15 {
+			out = append(out, p)
+			bestCost = p.Cost
+		}
+	}
+	c.Points = out
+	if eps <= 0 || len(c.Points) < 3 {
+		return
+	}
+	// ε-merge: keep the first (fastest) point, then require arrivals to
+	// advance by at least eps; the last (cheapest) point always survives.
+	merged := c.Points[:1]
+	for i := 1; i < len(c.Points); i++ {
+		p := c.Points[i]
+		last := &merged[len(merged)-1]
+		if p.Arrival-last.Arrival < eps && i != len(c.Points)-1 {
+			// Same ε-bucket: the later point is cheaper by construction.
+			*last = p
+			continue
+		}
+		merged = append(merged, p)
+	}
+	c.Points = merged
+	// Hard cap: keep the fastest and cheapest endpoints plus evenly spaced
+	// interior points, bounding downstream merge cost.
+	if len(c.Points) > maxCurvePoints {
+		kept := make([]Point, 0, maxCurvePoints)
+		step := float64(len(c.Points)-1) / float64(maxCurvePoints-1)
+		prev := -1
+		for i := 0; i < maxCurvePoints; i++ {
+			idx := int(float64(i)*step + 0.5)
+			if idx <= prev {
+				idx = prev + 1
+			}
+			if idx >= len(c.Points) {
+				idx = len(c.Points) - 1
+			}
+			kept = append(kept, c.Points[idx])
+			prev = idx
+		}
+		c.Points = kept
+	}
+}
+
+// maxCurvePoints bounds a curve after pruning; the first and last points
+// (fastest and cheapest solutions) are always retained.
+const maxCurvePoints = 48
+
+// cheapestAtOrBefore returns the index of the minimum-cost point whose
+// arrival is ≤ t, or -1 when no point meets t. Curves are monotone, so
+// that is the last point with Arrival ≤ t.
+func (c *Curve) cheapestAtOrBefore(t float64) int {
+	idx := -1
+	for i := range c.Points {
+		if c.Points[i].Arrival <= t+1e-12 {
+			idx = i
+		} else {
+			break
+		}
+	}
+	return idx
+}
+
+// fastest returns the index of the minimum-arrival point (0 for a
+// non-empty pruned curve), or -1 when the curve is empty.
+func (c *Curve) fastest() int {
+	if len(c.Points) == 0 {
+		return -1
+	}
+	return 0
+}

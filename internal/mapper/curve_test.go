@@ -1,0 +1,188 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomCurve(r *rand.Rand, n int) *Curve {
+	c := &Curve{}
+	for i := 0; i < n; i++ {
+		c.Points = append(c.Points, Point{
+			Arrival: r.Float64() * 10,
+			Cost:    r.Float64() * 100,
+		})
+	}
+	return c
+}
+
+func TestPruneMonotone(t *testing.T) {
+	// Property (Lemma 3.1): after pruning, arrivals strictly increase and
+	// costs strictly decrease — only non-inferior points remain.
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		c := randomCurve(r, 1+r.Intn(60))
+		c.prune(0)
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].Arrival <= c.Points[i-1].Arrival {
+				t.Fatalf("arrivals not increasing: %v", c.Points)
+			}
+			if c.Points[i].Cost >= c.Points[i-1].Cost {
+				t.Fatalf("costs not decreasing: %v", c.Points)
+			}
+		}
+	}
+}
+
+func TestPruneKeepsBestEndpoints(t *testing.T) {
+	// The fastest point and the cheapest point must survive pruning (as
+	// the first and last points).
+	r := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 200; trial++ {
+		c := randomCurve(r, 2+r.Intn(60))
+		minArr, minCostAtMinArr := c.Points[0].Arrival, c.Points[0].Cost
+		minCost := c.Points[0].Cost
+		for _, p := range c.Points[1:] {
+			if p.Arrival < minArr || (p.Arrival == minArr && p.Cost < minCostAtMinArr) {
+				minArr, minCostAtMinArr = p.Arrival, p.Cost
+			}
+			if p.Cost < minCost {
+				minCost = p.Cost
+			}
+		}
+		c.prune(0)
+		if c.Points[0].Arrival != minArr {
+			t.Fatalf("fastest arrival %v lost, have %v", minArr, c.Points[0].Arrival)
+		}
+		if c.Points[len(c.Points)-1].Cost != minCost {
+			t.Fatalf("cheapest cost %v lost, have %v", minCost, c.Points[len(c.Points)-1].Cost)
+		}
+	}
+}
+
+func TestPruneDominance(t *testing.T) {
+	// Every dropped point must be dominated by some kept point.
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 100; trial++ {
+		c := randomCurve(r, 2+r.Intn(40))
+		orig := append([]Point(nil), c.Points...)
+		c.prune(0)
+		for _, p := range orig {
+			dominated := false
+			for _, k := range c.Points {
+				if k.Arrival <= p.Arrival+1e-15 && k.Cost <= p.Cost+1e-15 {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Fatalf("point (%v,%v) dropped without a dominator", p.Arrival, p.Cost)
+			}
+		}
+	}
+}
+
+func TestPruneCap(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	// Build a strictly non-inferior staircase bigger than the cap.
+	c := &Curve{}
+	n := maxCurvePoints * 3
+	for i := 0; i < n; i++ {
+		c.Points = append(c.Points, Point{
+			Arrival: float64(i),
+			Cost:    float64(n - i),
+		})
+	}
+	c.prune(0.0001)
+	if len(c.Points) > maxCurvePoints {
+		t.Fatalf("cap not enforced: %d points", len(c.Points))
+	}
+	if c.Points[0].Arrival != 0 {
+		t.Error("fastest endpoint lost by cap")
+	}
+	if c.Points[len(c.Points)-1].Cost != 1 {
+		t.Error("cheapest endpoint lost by cap")
+	}
+	_ = r
+}
+
+func TestEpsilonMergeSpacing(t *testing.T) {
+	// After ε-pruning, interior arrivals advance by at least ε.
+	r := rand.New(rand.NewSource(79))
+	const eps = 0.5
+	for trial := 0; trial < 100; trial++ {
+		c := randomCurve(r, 3+r.Intn(50))
+		c.prune(eps)
+		for i := 1; i+1 < len(c.Points); i++ {
+			if c.Points[i].Arrival-c.Points[i-1].Arrival < eps-1e-12 {
+				t.Fatalf("ε spacing violated at %d: %v", i, c.Points)
+			}
+		}
+	}
+}
+
+func TestCheapestAtOrBefore(t *testing.T) {
+	c := &Curve{Points: []Point{
+		{Arrival: 1, Cost: 10},
+		{Arrival: 2, Cost: 5},
+		{Arrival: 4, Cost: 1},
+	}}
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{0.5, -1}, {1, 0}, {1.5, 0}, {2, 1}, {3.9, 1}, {4, 2}, {100, 2},
+	}
+	for _, tc := range cases {
+		if got := c.cheapestAtOrBefore(tc.t); got != tc.want {
+			t.Errorf("cheapestAtOrBefore(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestCheapestConsistentWithPrune(t *testing.T) {
+	// Property: for any t, the chosen point is the min cost among points
+	// with arrival ≤ t.
+	check := func(raws [16]uint8, tRaw uint8) bool {
+		c := &Curve{}
+		for i := 0; i < len(raws); i += 2 {
+			c.Points = append(c.Points, Point{
+				Arrival: float64(raws[i]) / 16,
+				Cost:    float64(raws[i+1]),
+			})
+		}
+		c.prune(0)
+		tv := float64(tRaw) / 16
+		idx := c.cheapestAtOrBefore(tv)
+		if idx == -1 {
+			for _, p := range c.Points {
+				if p.Arrival <= tv {
+					return false
+				}
+			}
+			return true
+		}
+		best := c.Points[idx]
+		for _, p := range c.Points {
+			if p.Arrival <= tv+1e-12 && p.Cost < best.Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastest(t *testing.T) {
+	empty := &Curve{}
+	if empty.fastest() != -1 {
+		t.Error("empty curve fastest != -1")
+	}
+	c := &Curve{Points: []Point{{Arrival: 1}, {Arrival: 2}}}
+	if c.fastest() != 0 {
+		t.Error("fastest != 0")
+	}
+}

@@ -1,0 +1,459 @@
+package mapper
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"powermap/internal/genlib"
+	"powermap/internal/network"
+	"powermap/internal/power"
+	"powermap/internal/prob"
+)
+
+// Objective selects the curve cost: the paper's ad-map (area under delay
+// constraints, the Chaudhary–Pedram baseline of Methods I–III) or pd-map
+// (average power under delay constraints, Methods IV–VI).
+type Objective int
+
+const (
+	// AreaDelay minimizes total cell area subject to required times.
+	AreaDelay Objective = iota
+	// PowerDelay minimizes average power subject to required times,
+	// accounted with Method 1 of Section 3.1.
+	PowerDelay
+)
+
+func (o Objective) String() string {
+	if o == AreaDelay {
+		return "ad-map"
+	}
+	return "pd-map"
+}
+
+// Options configures Map.
+type Options struct {
+	Objective Objective
+	Library   *genlib.Library
+	// TreeMode restricts matches to the DAGON-style tree partition; the
+	// default (false) is the paper's fanout-division DAG heuristic
+	// (Section 3.3).
+	TreeMode bool
+	// Epsilon is the curve ε-pruning width in ns (Section 3.1). Zero means
+	// the default 0.05 ns; a negative value disables ε-pruning and keeps
+	// every non-inferior point (exponentially expensive on large DAGs).
+	Epsilon float64
+	// Env is the electrical operating point; the zero value means
+	// power.Default().
+	Env power.Environment
+	// OutputLoad is the capacitance (in load units) attached to each
+	// primary output; 0 means twice the library default load.
+	OutputLoad float64
+	// PIArrival gives arrival times at primary inputs (default 0).
+	PIArrival map[string]float64
+	// PORequired gives required times at primary outputs. Outputs not
+	// listed get their minimum achievable arrival multiplied by (1+Relax).
+	PORequired map[string]float64
+	// Relax loosens defaulted required times; 0 demands the fastest
+	// mapping, 0.15 allows 15% slack for cost recovery.
+	Relax float64
+	// AreaTiebreak adds a small area-proportional term (µW per area unit)
+	// to the power cost so pd-map does not spend unbounded area on
+	// negligible power gains; it controls where the flow sits on the
+	// power/area trade-off curve. Zero means the default 0.05 (which
+	// lands near the paper's −22% power / +12% area operating point);
+	// negative disables the regularization entirely.
+	AreaTiebreak float64
+	// PowerMethod2 switches the dynamic-power accounting of Section 3.1
+	// from Method 1 (each input's output charge is priced at its mapped
+	// parent with the exact pin capacitance — the paper's choice) to
+	// Method 2 (each node prices its own output charge with the default
+	// load, suffering the unknown-load problem). Provided for the
+	// Method 1 vs Method 2 ablation.
+	PowerMethod2 bool
+}
+
+type selection struct {
+	point    Point
+	required float64
+}
+
+type state struct {
+	opt     Options
+	lib     *genlib.Library
+	env     power.Environment
+	matcher *matcher
+	sub     *network.Network
+	model   *prob.Model
+	curves  map[*network.Node]*Curve
+	chosen  map[*network.Node]*selection
+	loads   map[*network.Node]float64
+	visits  map[*network.Node]int
+	poLoad  float64
+	cdef    float64
+}
+
+// Map covers the NAND2/INV subject network with library gates. The model
+// must have been computed on (or cover) the subject network; it supplies
+// the mapping-independent switching activities E_n of Section 3.1.
+func Map(sub *network.Network, model *prob.Model, opt Options) (*Netlist, error) {
+	if opt.Library == nil {
+		return nil, fmt.Errorf("mapper: no library given")
+	}
+	env := opt.Env
+	if env.Vdd == 0 {
+		env = power.Default()
+	}
+	if opt.Epsilon == 0 {
+		opt.Epsilon = 0.05
+	} else if opt.Epsilon < 0 {
+		opt.Epsilon = 0
+	}
+	if opt.AreaTiebreak == 0 {
+		opt.AreaTiebreak = 0.05
+	} else if opt.AreaTiebreak < 0 {
+		opt.AreaTiebreak = 0
+	}
+	s := &state{
+		opt:     opt,
+		lib:     opt.Library,
+		env:     env,
+		matcher: &matcher{lib: opt.Library, treeMode: opt.TreeMode},
+		sub:     sub,
+		model:   model,
+		curves:  make(map[*network.Node]*Curve),
+		chosen:  make(map[*network.Node]*selection),
+		loads:   make(map[*network.Node]float64),
+		visits:  make(map[*network.Node]int),
+		cdef:    opt.Library.DefaultLoad(),
+	}
+	s.poLoad = opt.OutputLoad
+	if s.poLoad == 0 {
+		s.poLoad = 2 * s.cdef
+	}
+	if err := s.postorder(); err != nil {
+		return nil, err
+	}
+	if err := s.preorder(); err != nil {
+		return nil, err
+	}
+	return s.extract()
+}
+
+// postorder computes the power-delay (or area-delay) curve of every node
+// (Subsection 3.2.1).
+func (s *state) postorder() error {
+	for _, n := range s.sub.TopoOrder() {
+		if n.IsSource() {
+			arr := 0.0
+			if s.opt.PIArrival != nil {
+				arr = s.opt.PIArrival[n.Name]
+			}
+			s.curves[n] = &Curve{Points: []Point{{Arrival: arr}}}
+			continue
+		}
+		matches := s.matcher.matchesAt(n)
+		if len(matches) == 0 {
+			return fmt.Errorf("mapper: no library match at node %s", n.Name)
+		}
+		curve := &Curve{}
+		for _, m := range matches {
+			s.addMatchPoints(curve, n, m)
+		}
+		curve.prune(s.opt.Epsilon)
+		if len(curve.Points) == 0 {
+			return fmt.Errorf("mapper: empty curve at node %s", n.Name)
+		}
+		s.curves[n] = curve
+	}
+	return nil
+}
+
+// addMatchPoints merges the input curves of one match in their common
+// region and appends the resulting trade-off points (the lower-bound merge
+// of [3] emerges from pruning the union afterwards).
+func (s *state) addMatchPoints(curve *Curve, n *network.Node, m Match) {
+	type inputCtx struct {
+		node   *network.Node
+		curve  *Curve
+		delay  float64 // τ + R·C_default for this pin
+		fixed  float64 // Method 1 pin-charge power, or 0 for area
+		div    float64 // fanout division of the accumulated cost
+		pinIdx int
+	}
+	ins := make([]inputCtx, len(m.Inputs))
+	gateCost := 0.0
+	if s.opt.Objective == AreaDelay {
+		gateCost = m.Cell.Area
+	} else {
+		gateCost = s.opt.AreaTiebreak * m.Cell.Area
+		if s.opt.PowerMethod2 {
+			// Method 2 (Equation 16): price this node's own output charge
+			// now, with the default load standing in for the unknown one.
+			gateCost += s.env.GatePowerUW(s.cdef, n.Activity)
+		}
+	}
+	for pin, node := range m.Inputs {
+		p := m.Cell.Pins[pin]
+		ic := inputCtx{
+			node:   node,
+			curve:  s.curves[node],
+			delay:  p.Block + p.Drive*s.cdef,
+			div:    s.fanoutDiv(node),
+			pinIdx: pin,
+		}
+		if s.opt.Objective == PowerDelay && !s.opt.PowerMethod2 {
+			// Method 1 (Equation 15): charge the input node's activity
+			// into this pin's capacitance; the node's own output charge is
+			// deferred to its mapped parent (Section 3.1).
+			ic.fixed = s.env.GatePowerUW(p.Load, node.Activity)
+		}
+		ins[pin] = ic
+	}
+	// Candidate arrival times: every input point's arrival shifted by its
+	// pin delay (merging in the common region). Candidates below the
+	// fastest feasible arrival cannot be met by every input and are
+	// dropped; near-duplicates within the ε width are merged.
+	lower := math.Inf(-1)
+	for _, ic := range ins {
+		if len(ic.curve.Points) == 0 {
+			return
+		}
+		if a := ic.curve.Points[0].Arrival + ic.delay; a > lower {
+			lower = a
+		}
+	}
+	var cands []float64
+	for _, ic := range ins {
+		for _, p := range ic.curve.Points {
+			if t := p.Arrival + ic.delay; t >= lower {
+				cands = append(cands, t)
+			}
+		}
+	}
+	cands = append(cands, lower)
+	sort.Float64s(cands)
+	spacing := s.opt.Epsilon / 2
+	kept := cands[:0]
+	for i, t := range cands {
+		if len(kept) == 0 || t-kept[len(kept)-1] > spacing || i == len(cands)-1 {
+			kept = append(kept, t)
+		}
+	}
+	for _, t := range kept {
+		arrival := math.Inf(-1)
+		cost := gateCost
+		drive := 0.0
+		choices := make([]InputChoice, len(ins))
+		ok := true
+		for i, ic := range ins {
+			idx := ic.curve.cheapestAtOrBefore(t - ic.delay)
+			if idx < 0 {
+				ok = false
+				break
+			}
+			pt := ic.curve.Points[idx]
+			if a := pt.Arrival + ic.delay; a > arrival {
+				arrival = a
+				drive = m.Cell.Pins[ic.pinIdx].Drive
+			}
+			cost += ic.fixed + pt.Cost/ic.div
+			choices[i] = InputChoice{Node: ic.node, Pin: ic.pinIdx, Point: idx}
+		}
+		if !ok {
+			continue
+		}
+		curve.Points = append(curve.Points, Point{
+			Arrival: arrival,
+			Cost:    cost,
+			Cell:    m.Cell,
+			Drive:   drive,
+			Inputs:  choices,
+		})
+	}
+}
+
+// fanoutDiv implements the Section 3.3 heuristic: the accumulated cost of a
+// multi-fanout input is divided by its fanout count, favoring solutions
+// that preserve (share) multi-fanout nodes.
+func (s *state) fanoutDiv(n *network.Node) float64 {
+	if s.opt.TreeMode || n.Kind != network.Internal {
+		return 1
+	}
+	if f := len(n.Fanout); f > 1 {
+		return float64(f)
+	}
+	return 1
+}
+
+// preorder walks from each primary output, selecting at every visited node
+// the minimum-cost point meeting its required time under the actual load
+// (Subsections 3.2.2 and 3.2.3). Loads and selections are mutually
+// dependent (the unknown-load problem), so selection runs as a small number
+// of relaxation passes: each pass selects under the loads implied by the
+// previous pass's netlist, and the loads are then recomputed exactly.
+func (s *state) preorder() error {
+	// Fix per-output required times once, using first-pass load estimates.
+	s.loads = s.freshLoads(nil)
+	required := make(map[string]float64, len(s.sub.Outputs))
+	for _, o := range s.sub.Outputs {
+		if o.Driver.IsSource() {
+			continue
+		}
+		req, given := 0.0, false
+		if s.opt.PORequired != nil {
+			req, given = s.opt.PORequired[o.Name]
+		}
+		if !given {
+			req = s.minAchievable(o.Driver) * (1 + s.opt.Relax)
+		}
+		required[o.Name] = req
+	}
+	const passes = 3
+	for pass := 0; pass < passes; pass++ {
+		s.chosen = make(map[*network.Node]*selection)
+		s.visits = make(map[*network.Node]int)
+		for _, o := range s.sub.Outputs {
+			if o.Driver.IsSource() {
+				continue
+			}
+			if err := s.selectAt(o.Driver, required[o.Name]); err != nil {
+				return err
+			}
+		}
+		newLoads := s.freshLoads(s.chosen)
+		if pass == passes-1 || loadsConverged(s.loads, newLoads) {
+			break
+		}
+		s.loads = newLoads
+	}
+	return nil
+}
+
+// freshLoads computes the load at every signal implied by a selection set:
+// the input pin capacitances of all reachable selected gates plus the
+// primary-output pads. A nil selection yields the initial estimate (output
+// pads only; internal nets default to the library default load via cdef in
+// the adjustment formulas).
+func (s *state) freshLoads(chosen map[*network.Node]*selection) map[*network.Node]float64 {
+	loads := make(map[*network.Node]float64)
+	for _, o := range s.sub.Outputs {
+		loads[o.Driver] += s.poLoad
+	}
+	if chosen == nil {
+		return loads
+	}
+	visited := make(map[*network.Node]bool)
+	var visit func(n *network.Node)
+	visit = func(n *network.Node) {
+		if n.IsSource() || visited[n] {
+			return
+		}
+		visited[n] = true
+		sel := chosen[n]
+		if sel == nil {
+			return
+		}
+		for _, ic := range sel.point.Inputs {
+			loads[ic.Node] += sel.point.Cell.Pins[ic.Pin].Load
+			visit(ic.Node)
+		}
+	}
+	for _, o := range s.sub.Outputs {
+		visit(o.Driver)
+	}
+	return loads
+}
+
+func loadsConverged(a, b map[*network.Node]float64) bool {
+	for n, v := range b {
+		if math.Abs(a[n]-v) > 1e-9 {
+			return false
+		}
+	}
+	for n, v := range a {
+		if math.Abs(b[n]-v) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// loadAt returns the current load estimate at a node; nodes without an
+// entry see the library default (the unknown-load assumption).
+func (s *state) loadAt(n *network.Node) float64 {
+	if l, ok := s.loads[n]; ok && l > 0 {
+		return l
+	}
+	return s.cdef
+}
+
+// minAchievable is the fastest load-adjusted arrival of the node's curve.
+func (s *state) minAchievable(n *network.Node) float64 {
+	c := s.curves[n]
+	load := s.loadAt(n)
+	best := math.Inf(1)
+	for _, p := range c.Points {
+		if a := p.Arrival + (load-s.cdef)*p.Drive; a < best {
+			best = a
+		}
+	}
+	return best
+}
+
+const maxVisits = 6
+
+// selectAt picks a gate at node n meeting the required time and recurses
+// into the selected match's inputs. Already-mapped nodes keep their
+// solution when it still meets timing (the DAG revisit rule of
+// Section 3.3); otherwise they are re-selected with the tighter
+// requirement. Loads are fixed for the duration of a pass.
+func (s *state) selectAt(n *network.Node, required float64) error {
+	if n.IsSource() {
+		return nil
+	}
+	load := s.loadAt(n)
+	adj := func(p Point) float64 { return p.Arrival + (load-s.cdef)*p.Drive }
+	if sel := s.chosen[n]; sel != nil {
+		if required >= sel.required-1e-12 || adj(sel.point) <= required+1e-9 {
+			if required < sel.required {
+				sel.required = required
+			}
+			return nil
+		}
+		if s.visits[n] >= maxVisits {
+			// Keep the violating solution rather than oscillate; the final
+			// report shows the true delay.
+			return nil
+		}
+	}
+	s.visits[n]++
+	c := s.curves[n]
+	bestIdx := -1
+	bestCost := math.Inf(1)
+	for i, p := range c.Points {
+		if adj(p) <= required+1e-9 && p.Cost < bestCost {
+			bestCost, bestIdx = p.Cost, i
+		}
+	}
+	if bestIdx < 0 {
+		// Infeasible required time: fall back to the fastest point.
+		bestArr := math.Inf(1)
+		for i, p := range c.Points {
+			if a := adj(p); a < bestArr {
+				bestArr, bestIdx = a, i
+			}
+		}
+	}
+	point := c.Points[bestIdx]
+	s.chosen[n] = &selection{point: point, required: required}
+	// Recurse with per-input required times derived from Equation 14.
+	for _, ic := range point.Inputs {
+		pin := point.Cell.Pins[ic.Pin]
+		childReq := required - pin.Block - pin.Drive*load
+		if err := s.selectAt(ic.Node, childReq); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package mapper implements the paper's power-efficient technology mapping
+// (Section 3): tree covering of a NAND2/INV subject graph with library
+// gates, driven by per-node power-delay (or area-delay) curves of
+// non-inferior points, with a postorder curve-construction pass and a
+// preorder gate-selection pass that recalculates timing as actual loads
+// replace the unknown-load default.
+package mapper
+
+import (
+	"powermap/internal/decomp"
+	"powermap/internal/genlib"
+	"powermap/internal/network"
+)
+
+// Match is one way a library cell can cover the cone rooted at a subject
+// node: Inputs[i] is the subject node bound to cell pin i (inputs(n,g) in
+// the paper's terminology).
+type Match struct {
+	Cell   *genlib.Cell
+	Inputs []*network.Node
+	// Covered counts the subject nodes hidden inside the match (the
+	// merged(n,g) set), used for diagnostics and ablations.
+	Covered int
+}
+
+// matcher enumerates structural matches of library patterns on the subject
+// graph.
+type matcher struct {
+	lib *genlib.Library
+	// treeMode forbids matches that hide a multi-fanout node inside a
+	// cover (strict DAGON-style tree partitioning).
+	treeMode bool
+}
+
+// matchesAt enumerates all matches of all library cells at node n.
+// Matches are deduplicated by (cell, input binding).
+func (m *matcher) matchesAt(n *network.Node) []Match {
+	if n.Kind != network.Internal {
+		return nil
+	}
+	var out []Match
+	seen := map[string]bool{}
+	for _, cell := range m.lib.Cells {
+		for _, pat := range cell.Patterns {
+			bindings := m.matchPattern(pat, n, true)
+			for _, b := range bindings {
+				if !b.complete(cell.NumInputs()) {
+					continue
+				}
+				key := cell.Name + "|" + b.key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, Match{Cell: cell, Inputs: b.pins, Covered: pat.Size()})
+			}
+		}
+	}
+	return out
+}
+
+// binding maps cell pins to subject nodes. Patterns may be leaf-DAGs
+// (e.g. XOR references each pin twice), so a pin can be bound repeatedly
+// and must bind consistently.
+type binding struct {
+	pins []*network.Node
+}
+
+func newBinding(n int) binding { return binding{pins: make([]*network.Node, n)} }
+
+func (b binding) clone() binding {
+	return binding{pins: append([]*network.Node(nil), b.pins...)}
+}
+
+func (b binding) bind(pin int, node *network.Node) (binding, bool) {
+	if b.pins[pin] == node {
+		return b, true
+	}
+	if b.pins[pin] != nil {
+		return binding{}, false
+	}
+	nb := b.clone()
+	nb.pins[pin] = node
+	return nb, true
+}
+
+func (b binding) complete(n int) bool {
+	if n > len(b.pins) {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if b.pins[i] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (b binding) key() string {
+	s := ""
+	for _, p := range b.pins {
+		if p == nil {
+			s += "_,"
+		} else {
+			s += p.Name + ","
+		}
+	}
+	return s
+}
+
+// matchPattern returns all bindings under which pattern p matches the
+// subject cone rooted at n. root marks the top of the match (a match root
+// may have any fanout; interior nodes are restricted in tree mode).
+func (m *matcher) matchPattern(p *genlib.Pattern, n *network.Node, root bool) []binding {
+	// Determine the pin count lazily from the deepest pin index.
+	maxPin := maxPinIndex(p)
+	init := newBinding(maxPin + 1)
+	return m.matchRec(p, n, root, []binding{init})
+}
+
+func maxPinIndex(p *genlib.Pattern) int {
+	switch p.Kind {
+	case genlib.PatLeaf:
+		return p.Pin
+	case genlib.PatInv:
+		return maxPinIndex(p.L)
+	default:
+		l, r := maxPinIndex(p.L), maxPinIndex(p.R)
+		if r > l {
+			return r
+		}
+		return l
+	}
+}
+
+// matchRec threads a set of partial bindings through the pattern.
+func (m *matcher) matchRec(p *genlib.Pattern, n *network.Node, root bool, partial []binding) []binding {
+	if len(partial) == 0 {
+		return nil
+	}
+	switch p.Kind {
+	case genlib.PatLeaf:
+		var out []binding
+		for _, b := range partial {
+			if nb, ok := b.bind(p.Pin, n); ok {
+				out = append(out, nb)
+			}
+		}
+		return out
+	case genlib.PatInv:
+		if !decomp.IsInv(n) || !m.interiorOK(n, root) {
+			return nil
+		}
+		return m.matchRec(p.L, n.Fanin[0], false, partial)
+	default: // PatNand
+		if !decomp.IsNand2(n) || !m.interiorOK(n, root) {
+			return nil
+		}
+		a, b := n.Fanin[0], n.Fanin[1]
+		var out []binding
+		// Both input orders: NAND is commutative.
+		left := m.matchRec(p.L, a, false, partial)
+		out = append(out, m.matchRec(p.R, b, false, left)...)
+		if a != b {
+			left = m.matchRec(p.L, b, false, partial)
+			out = append(out, m.matchRec(p.R, a, false, left)...)
+		}
+		return dedupeBindings(out)
+	}
+}
+
+// interiorOK reports whether node n may participate in a match at the given
+// position. Match roots are always allowed; in tree mode interior nodes
+// must be fanout-free (single fanout), which confines matches to the
+// DAGON-style tree partition.
+func (m *matcher) interiorOK(n *network.Node, root bool) bool {
+	if root || !m.treeMode {
+		return true
+	}
+	return len(n.Fanout) <= 1
+}
+
+func dedupeBindings(bs []binding) []binding {
+	if len(bs) < 2 {
+		return bs
+	}
+	seen := map[string]bool{}
+	out := bs[:0]
+	for _, b := range bs {
+		k := b.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package mapper
+
+import (
+	"sort"
+
+	"powermap/internal/genlib"
+	"powermap/internal/network"
+)
+
+// RecoverDrive performs post-mapping drive-strength power recovery, the
+// gate-resizing optimization the paper cites as prior work (Hoppe et al.
+// [7]) and an easy companion to power-aware covering: every gate is
+// considered, in reverse arrival order, for replacement by a functionally
+// identical library cell with smaller input capacitance (typically a lower
+// drive strength). A swap is kept only when every primary output still
+// meets its required time; passing nil required times freezes the current
+// delay as the budget. Returns the number of gates resized.
+//
+// The netlist's report, loads and arrival times are recomputed after every
+// accepted swap, so the final Report reflects the recovered netlist.
+func (nl *Netlist) RecoverDrive(lib *genlib.Library, required map[string]float64) int {
+	if required == nil {
+		required = map[string]float64{}
+		for _, o := range nl.sub.Outputs {
+			required[o.Name] = nl.arrival[o.Driver]
+		}
+	}
+	classes := equivalenceClasses(lib)
+	// Reverse arrival order: downstream gates first, so upstream swaps see
+	// the reduced loads.
+	order := append([]*Gate(nil), nl.Gates...)
+	sort.SliceStable(order, func(i, j int) bool {
+		return nl.arrival[order[i].Root] > nl.arrival[order[j].Root]
+	})
+	swaps := 0
+	for _, g := range order {
+		variants := classes[cellClassKey(g.Cell)]
+		for _, v := range variants {
+			if v == g.Cell || totalPinLoad(v) >= totalPinLoad(g.Cell) {
+				continue
+			}
+			old := g.Cell
+			g.Cell = v
+			nl.recompute()
+			if nl.meetsRequired(required) {
+				swaps++
+				break
+			}
+			g.Cell = old
+			nl.recompute()
+		}
+	}
+	return swaps
+}
+
+// meetsRequired reports whether every output with a required time meets it
+// (within rounding).
+func (nl *Netlist) meetsRequired(required map[string]float64) bool {
+	for _, o := range nl.sub.Outputs {
+		req, ok := required[o.Name]
+		if !ok {
+			continue
+		}
+		if nl.arrival[o.Driver] > req+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// recompute rebuilds loads, arrivals and the report from the current gate
+// list.
+func (nl *Netlist) recompute() {
+	nl.loads = make(map[*network.Node]float64, len(nl.loads))
+	nl.arrival = make(map[*network.Node]float64, len(nl.arrival))
+	nl.computeReport()
+}
+
+// cellClassKey identifies functional equivalence: same canonical SOP over
+// the same pin count. Pin order is part of the cover, so two cells in the
+// same class accept identical input bindings.
+func cellClassKey(c *genlib.Cell) string {
+	return c.Cover().String()
+}
+
+// equivalenceClasses groups cells by function, cheapest pin load first.
+func equivalenceClasses(lib *genlib.Library) map[string][]*genlib.Cell {
+	classes := make(map[string][]*genlib.Cell)
+	for _, c := range lib.Cells {
+		k := cellClassKey(c)
+		classes[k] = append(classes[k], c)
+	}
+	for _, cells := range classes {
+		sort.SliceStable(cells, func(i, j int) bool {
+			li, lj := totalPinLoad(cells[i]), totalPinLoad(cells[j])
+			if li != lj {
+				return li < lj
+			}
+			return cells[i].Area < cells[j].Area
+		})
+	}
+	return classes
+}
+
+func totalPinLoad(c *genlib.Cell) float64 {
+	s := 0.0
+	for i := range c.Pins {
+		s += c.Pins[i].Load
+	}
+	return s
+}

@@ -1,0 +1,44 @@
+package network
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDot renders the network as a Graphviz digraph: primary inputs as
+// diamonds, internal nodes as boxes labelled with their local function,
+// primary outputs as double circles. Probability annotations are included
+// when present (non-zero).
+func (nw *Network) WriteDot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", nw.Name)
+	for _, n := range nw.TopoOrder() {
+		switch n.Kind {
+		case PI:
+			fmt.Fprintf(bw, "  %q [shape=diamond,label=%q];\n", n.Name, n.Name)
+		case Constant:
+			v := "0"
+			if n.Func.IsOne() {
+				v = "1"
+			}
+			fmt.Fprintf(bw, "  %q [shape=plaintext,label=%q];\n", n.Name, n.Name+"="+v)
+		default:
+			label := n.Name
+			if n.Prob1 != 0 || n.Activity != 0 {
+				label = fmt.Sprintf("%s\\np=%.3f E=%.3f", n.Name, n.Prob1, n.Activity)
+			}
+			fmt.Fprintf(bw, "  %q [shape=box,label=%q];\n", n.Name, label)
+		}
+		for _, f := range n.Fanin {
+			fmt.Fprintf(bw, "  %q -> %q;\n", f.Name, n.Name)
+		}
+	}
+	for _, o := range nw.Outputs {
+		port := "out_" + o.Name
+		fmt.Fprintf(bw, "  %q [shape=doublecircle,label=%q];\n", port, o.Name)
+		fmt.Fprintf(bw, "  %q -> %q;\n", o.Driver.Name, port)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}

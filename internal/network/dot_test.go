@@ -1,0 +1,26 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	nw, _, _, _, _ := buildAndOr(t)
+	nw.AddConstant("k1", true)
+	nw.MarkOutput("konst", nw.NodeByName("k1"))
+	var buf bytes.Buffer
+	if err := nw.WriteDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph", "rankdir=LR", "shape=diamond", "shape=box",
+		"shape=doublecircle", `"n1" -> "y"`, `"a" -> "n1"`, "k1=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"powermap/internal/sop"
+)
+
+// buildAndOr constructs y = (a AND b) OR c used by several tests.
+func buildAndOr(t *testing.T) (*Network, *Node, *Node, *Node, *Node) {
+	t.Helper()
+	nw := New("andor")
+	a := nw.AddPI("a")
+	b := nw.AddPI("b")
+	c := nw.AddPI("c")
+	and := sop.NewCover(2)
+	and.AddCube(sop.Cube{sop.Pos, sop.Pos})
+	n1 := nw.AddNode("n1", []*Node{a, b}, and)
+	or := sop.NewCover(2)
+	or.AddCube(sop.Cube{sop.Pos, sop.DC})
+	or.AddCube(sop.Cube{sop.DC, sop.Pos})
+	y := nw.AddNode("y", []*Node{n1, c}, or)
+	nw.MarkOutput("y", y)
+	if err := nw.Check(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return nw, a, b, c, n1
+}
+
+func TestEval(t *testing.T) {
+	nw, _, _, _, _ := buildAndOr(t)
+	cases := []struct {
+		a, b, c, want bool
+	}{
+		{false, false, false, false},
+		{true, true, false, true},
+		{true, false, false, false},
+		{false, false, true, true},
+	}
+	for _, tc := range cases {
+		got := nw.Eval(map[string]bool{"a": tc.a, "b": tc.b, "c": tc.c})["y"]
+		if got != tc.want {
+			t.Errorf("eval(%v,%v,%v) = %v, want %v", tc.a, tc.b, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	nw, _, _, _, _ := buildAndOr(t)
+	order := nw.TopoOrder()
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n.Name] = i
+	}
+	if pos["n1"] > pos["y"] || pos["a"] > pos["n1"] || pos["c"] > pos["y"] {
+		t.Errorf("bad topo order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Errorf("order has %d nodes, want 5", len(order))
+	}
+}
+
+func TestDuplicateIndependence(t *testing.T) {
+	nw, _, _, _, _ := buildAndOr(t)
+	cp := nw.Duplicate()
+	if err := cp.Check(); err != nil {
+		t.Fatalf("duplicate check: %v", err)
+	}
+	ok, err := EquivalentBrute(nw, cp)
+	if err != nil || !ok {
+		t.Fatalf("duplicate not equivalent: %v %v", ok, err)
+	}
+	// Mutating the copy must not affect the original.
+	cpY := cp.NodeByName("y")
+	cpY.Func = sop.Zero(2)
+	orig := nw.Eval(map[string]bool{"a": true, "b": true, "c": false})["y"]
+	if !orig {
+		t.Error("mutating duplicate changed original")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	nw, a, b, _, _ := buildAndOr(t)
+	dead := sop.NewCover(2)
+	dead.AddCube(sop.Cube{sop.Pos, sop.Neg})
+	nw.AddNode("dead", []*Node{a, b}, dead)
+	if removed := nw.Sweep(); removed != 1 {
+		t.Errorf("sweep removed %d, want 1", removed)
+	}
+	if nw.NodeByName("dead") != nil {
+		t.Error("dead node survived sweep")
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatalf("post-sweep check: %v", err)
+	}
+}
+
+func TestSweepChain(t *testing.T) {
+	// A dead chain must be removed entirely.
+	nw, a, _, _, _ := buildAndOr(t)
+	buf := sop.FromLiteral(1, 0, true)
+	d1 := nw.AddNode("d1", []*Node{a}, buf)
+	nw.AddNode("d2", []*Node{d1}, buf.Clone())
+	if removed := nw.Sweep(); removed != 2 {
+		t.Errorf("sweep removed %d, want 2", removed)
+	}
+}
+
+func TestReplaceFanin(t *testing.T) {
+	nw, a, _, c, n1 := buildAndOr(t)
+	y := nw.NodeByName("y")
+	nw.ReplaceFanin(y, n1, a)
+	if y.FaninIndex(a) < 0 {
+		t.Fatal("fanin not replaced")
+	}
+	if containsNode(n1.Fanout, y) {
+		t.Error("old fanin still lists fanout")
+	}
+	if !containsNode(a.Fanout, y) {
+		t.Error("new fanin missing fanout")
+	}
+	got := nw.Eval(map[string]bool{"a": true, "b": false, "c": false})["y"]
+	if !got {
+		t.Error("rewired network mis-evaluates")
+	}
+	_ = c
+}
+
+func TestDeleteNodePanics(t *testing.T) {
+	nw, _, _, _, n1 := buildAndOr(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("deleting a live node must panic")
+		}
+	}()
+	nw.DeleteNode(n1)
+}
+
+func TestCheckDetectsCycle(t *testing.T) {
+	nw, _, _, _, n1 := buildAndOr(t)
+	y := nw.NodeByName("y")
+	// Manually create a cycle y -> n1.
+	n1.Fanin = append(n1.Fanin, y)
+	n1.Func = sop.One(3).And(sop.FromLiteral(3, 0, true)) // keep widths consistent
+	y.Fanout = append(y.Fanout, n1)
+	if err := nw.Check(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestConstantNode(t *testing.T) {
+	nw := New("const")
+	one := nw.AddConstant("one", true)
+	nw.MarkOutput("o", one)
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Eval(nil)["o"] {
+		t.Error("constant one evaluates to false")
+	}
+}
+
+func TestStats(t *testing.T) {
+	nw, _, _, _, _ := buildAndOr(t)
+	s := nw.Stats()
+	if s.PIs != 3 || s.POs != 1 || s.Nodes != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Literals != 4 {
+		t.Errorf("literals = %d, want 4", s.Literals)
+	}
+	if s.Depth != 2 {
+		t.Errorf("depth = %d, want 2", s.Depth)
+	}
+}
+
+func TestFreshName(t *testing.T) {
+	nw, _, _, _, _ := buildAndOr(t)
+	n1 := nw.FreshName("t")
+	n2 := nw.FreshName("t")
+	if n1 == n2 {
+		t.Error("fresh names collide")
+	}
+	if nw.NodeByName(n1) != nil {
+		t.Error("fresh name already taken")
+	}
+}
+
+func TestEquivalentBruteDetectsDifference(t *testing.T) {
+	a, _, _, _, _ := buildAndOr(t)
+	b := a.Duplicate()
+	yb := b.NodeByName("y")
+	yb.Func = sop.Zero(2)
+	ok, err := EquivalentBrute(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("different networks reported equivalent")
+	}
+}
+
+func TestSetFunction(t *testing.T) {
+	nw, a, b, c, n1 := buildAndOr(t)
+	// Rewire n1 from AND(a,b) to OR(b,c).
+	or := sop.NewCover(2)
+	or.AddCube(sop.Cube{sop.Pos, sop.DC})
+	or.AddCube(sop.Cube{sop.DC, sop.Pos})
+	nw.SetFunction(n1, []*Node{b, c}, or)
+	if err := nw.Check(); err != nil {
+		t.Fatalf("post-SetFunction check: %v", err)
+	}
+	if containsNode(a.Fanout, n1) {
+		t.Error("old fanin still lists n1")
+	}
+	if !containsNode(c.Fanout, n1) {
+		t.Error("new fanin missing n1")
+	}
+	got := nw.Eval(map[string]bool{"a": false, "b": false, "c": true})["y"]
+	if !got {
+		t.Error("rewired function mis-evaluates")
+	}
+}
+
+func TestSetFunctionPanics(t *testing.T) {
+	nw, a, b, _, _ := buildAndOr(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch must panic")
+		}
+	}()
+	nw.SetFunction(nw.NodeByName("y"), []*Node{a, b}, sop.FromLiteral(1, 0, true))
+}
+
+func TestTopoOrderAllIncludesDangling(t *testing.T) {
+	nw, a, b, _, _ := buildAndOr(t)
+	dead := sop.NewCover(2)
+	dead.AddCube(sop.Cube{sop.Pos, sop.Neg})
+	nw.AddNode("dead", []*Node{a, b}, dead)
+	reach := nw.TopoOrder()
+	all := nw.TopoOrderAll()
+	if len(all) != len(reach)+1 {
+		t.Errorf("TopoOrderAll %d vs TopoOrder %d", len(all), len(reach))
+	}
+	pos := map[string]int{}
+	for i, n := range all {
+		pos[n.Name] = i
+	}
+	if pos["a"] > pos["dead"] {
+		t.Error("dangling node precedes its fanin")
+	}
+}
+
+func TestEquivalentBruteErrors(t *testing.T) {
+	a, _, _, _, _ := buildAndOr(t)
+	b := New("other")
+	b.AddPI("a")
+	b.MarkOutput("y", b.NodeByName("a"))
+	if _, err := EquivalentBrute(a, b); err == nil {
+		t.Error("PI count mismatch accepted")
+	}
+	c := New("other2")
+	for _, n := range []string{"a", "b", "x"} {
+		c.AddPI(n)
+	}
+	c.MarkOutput("y", c.NodeByName("a"))
+	if _, err := EquivalentBrute(a, c); err == nil {
+		t.Error("PI name mismatch accepted")
+	}
+	d := a.Duplicate()
+	d.MarkOutput("extra", d.NodeByName("y"))
+	if _, err := EquivalentBrute(a, d); err == nil {
+		t.Error("output count mismatch accepted")
+	}
+}
+
+func TestPINamesOutputNames(t *testing.T) {
+	nw, _, _, _, _ := buildAndOr(t)
+	if got := nw.PINames(); len(got) != 3 || got[0] != "a" {
+		t.Errorf("PINames %v", got)
+	}
+	if got := nw.OutputNames(); len(got) != 1 || got[0] != "y" {
+		t.Errorf("OutputNames %v", got)
+	}
+}
+
+func TestOutputDrivenByPI(t *testing.T) {
+	nw := New("wire")
+	a := nw.AddPI("a")
+	nw.MarkOutput("o", a)
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Eval(map[string]bool{"a": true})["o"] {
+		t.Error("PI-driven output broken")
+	}
+}

@@ -1,0 +1,360 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"powermap/internal/blif"
+	"powermap/internal/network"
+	"powermap/internal/prob"
+	"powermap/internal/sop"
+)
+
+func mustParse(t *testing.T, text string) *network.Network {
+	t.Helper()
+	nw, err := blif.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func assertEquivalent(t *testing.T, ref, got *network.Network) {
+	t.Helper()
+	ok, err := prob.EquivalentOutputs(ref, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("optimization changed the network function")
+	}
+}
+
+func TestSweepConstants(t *testing.T) {
+	text := `
+.model consts
+.inputs a b
+.outputs y
+.names one
+1
+.names a one t
+11 1
+.names t b y
+1- 1
+-1 1
+.end
+`
+	nw := mustParse(t, text)
+	ref := nw.Duplicate()
+	consts, _, err := Sweep(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consts == 0 {
+		t.Error("constant not propagated")
+	}
+	assertEquivalent(t, ref, nw)
+	if nw.NodeByName("one") != nil {
+		t.Error("constant node survived sweep")
+	}
+}
+
+func TestSweepConstantZeroFeeding(t *testing.T) {
+	text := `
+.model zero
+.inputs a
+.outputs y
+.names z
+.names a z y
+11 1
+.end
+`
+	nw := mustParse(t, text)
+	ref := nw.Duplicate()
+	if _, _, err := Sweep(nw); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, ref, nw)
+	// y = a AND 0 = 0: y's node becomes constant zero.
+	y := nw.NodeByName("y")
+	if y == nil || !y.Func.IsZero() {
+		t.Errorf("y should be constant 0, got %v", y)
+	}
+}
+
+func TestSweepBuffers(t *testing.T) {
+	text := `
+.model bufs
+.inputs a b
+.outputs y
+.names a t
+1 1
+.names t b y
+11 1
+.end
+`
+	nw := mustParse(t, text)
+	ref := nw.Duplicate()
+	_, bufs, err := Sweep(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bufs == 0 {
+		t.Error("buffer not collapsed")
+	}
+	assertEquivalent(t, ref, nw)
+	y := nw.NodeByName("y")
+	if y.FaninIndex(nw.NodeByName("a")) < 0 {
+		t.Error("y should read a directly")
+	}
+}
+
+func TestSweepInverters(t *testing.T) {
+	text := `
+.model invs
+.inputs a b
+.outputs y
+.names a t
+0 1
+.names t b y
+11 1
+.end
+`
+	nw := mustParse(t, text)
+	ref := nw.Duplicate()
+	if _, _, err := Sweep(nw); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, ref, nw)
+	// y = !a AND b now reads a directly with a flipped literal.
+	y := nw.NodeByName("y")
+	if y.FaninIndex(nw.NodeByName("a")) < 0 {
+		t.Error("y should read a directly after inverter collapse")
+	}
+}
+
+func TestSweepInverterWithSharedFanin(t *testing.T) {
+	// y reads both a and !a: collapsing must merge the columns.
+	text := `
+.model shared
+.inputs a b
+.outputs y
+.names a na
+0 1
+.names a na b y
+1-1 1
+-11 1
+.end
+`
+	nw := mustParse(t, text)
+	ref := nw.Duplicate()
+	if _, _, err := Sweep(nw); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, ref, nw)
+}
+
+func TestEliminateSmallNodes(t *testing.T) {
+	text := `
+.model elim
+.inputs a b c d
+.outputs y
+.names a b t
+11 1
+.names t c u
+1- 1
+-1 1
+.names u d y
+11 1
+.end
+`
+	nw := mustParse(t, text)
+	ref := nw.Duplicate()
+	n, err := Eliminate(nw, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("nothing eliminated")
+	}
+	assertEquivalent(t, ref, nw)
+}
+
+func TestEliminateRespectsThreshold(t *testing.T) {
+	// A node with many fanouts whose substitution grows literals a lot
+	// must survive a zero threshold.
+	text := `
+.model keep
+.inputs a b c d e f
+.outputs y z w
+.names a b c t
+111 1
+100 1
+.names t d y
+11 1
+.names t e z
+11 1
+.names t f w
+11 1
+.end
+`
+	nw := mustParse(t, text)
+	before := len(nw.Nodes)
+	if _, err := Eliminate(nw, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	if nw.NodeByName("t") == nil {
+		t.Errorf("high-value node eliminated (nodes %d -> %d)", before, len(nw.Nodes))
+	}
+}
+
+func TestExtractCubes(t *testing.T) {
+	// a·b appears in three nodes: extractable.
+	text := `
+.model fx
+.inputs a b c d e
+.outputs x y z
+.names a b c x
+111 1
+.names a b d y
+111 1
+.names a b e z
+111 1
+.end
+`
+	nw := mustParse(t, text)
+	ref := nw.Duplicate()
+	litsBefore := nw.Stats().Literals
+	n := ExtractCubes(nw, 10)
+	if n == 0 {
+		t.Fatal("no cube extracted")
+	}
+	assertEquivalent(t, ref, nw)
+	if lits := nw.Stats().Literals; lits >= litsBefore {
+		t.Errorf("extraction did not reduce literals: %d -> %d", litsBefore, lits)
+	}
+}
+
+func TestOptimizeScriptPreservesFunction(t *testing.T) {
+	text := `
+.model script
+.inputs a b c d e
+.outputs y z
+.names one
+1
+.names a buf
+1 1
+.names buf b t1
+11 1
+.names t1 one t2
+11 1
+.names t2 c d t3
+11- 1
+1-1 1
+.names t3 e y
+1- 1
+-1 1
+.names a b z
+10 1
+01 1
+.end
+`
+	nw := mustParse(t, text)
+	ref := nw.Duplicate()
+	st, err := Optimize(nw, Options{EliminateThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, ref, nw)
+	if st.LiteralsAfter > st.LiteralsBefore {
+		t.Errorf("optimization grew the network: %d -> %d literals",
+			st.LiteralsBefore, st.LiteralsAfter)
+	}
+	if st.ConstantsPropagated == 0 || st.BuffersCollapsed == 0 {
+		t.Errorf("expected sweep activity, got %+v", st)
+	}
+}
+
+func TestOptimizeStrongSimplify(t *testing.T) {
+	// The Espresso-style pass must reduce this classic redundancy and
+	// preserve the function through the full script.
+	text := `
+.model strong
+.inputs a b c
+.outputs y
+.names a b c y
+11- 1
+0-1 1
+-11 1
+.end
+`
+	nw := mustParse(t, text)
+	ref := nw.Duplicate()
+	st, err := Optimize(nw, Options{EliminateThreshold: -1, StrongSimplify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, ref, nw)
+	if st.LiteralsAfter >= 6 {
+		t.Errorf("consensus cube not removed: %d literals", st.LiteralsAfter)
+	}
+}
+
+func TestOptimizeRandomNetworksStrong(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 10; trial++ {
+		nw := randomNetwork(r, 5, 10)
+		ref := nw.Duplicate()
+		if _, err := Optimize(nw, Options{EliminateThreshold: 3, StrongSimplify: true}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertEquivalent(t, ref, nw)
+	}
+}
+
+func TestOptimizeRandomNetworks(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 20; trial++ {
+		nw := randomNetwork(r, 5, 10)
+		ref := nw.Duplicate()
+		if _, err := Optimize(nw, Options{EliminateThreshold: 3}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := nw.Check(); err != nil {
+			t.Fatalf("trial %d: invalid network: %v", trial, err)
+		}
+		assertEquivalent(t, ref, nw)
+	}
+}
+
+func randomNetwork(r *rand.Rand, npi, nnodes int) *network.Network {
+	nw := network.New("rand")
+	var pool []*network.Node
+	for i := 0; i < npi; i++ {
+		pool = append(pool, nw.AddPI(nw.FreshName("pi")))
+	}
+	for i := 0; i < nnodes; i++ {
+		k := 1 + r.Intn(3)
+		var fanins []*network.Node
+		seen := map[*network.Node]bool{}
+		for len(fanins) < k {
+			f := pool[r.Intn(len(pool))]
+			if !seen[f] {
+				seen[f] = true
+				fanins = append(fanins, f)
+			}
+		}
+		f := sop.NewCover(k)
+		for cbi := 0; cbi < 1+r.Intn(3); cbi++ {
+			cube := sop.NewCube(k)
+			for v := range cube {
+				cube[v] = sop.Lit(r.Intn(3))
+			}
+			f.AddCube(cube)
+		}
+		pool = append(pool, nw.AddNode(nw.FreshName("n"), fanins, f))
+	}
+	nw.MarkOutput("o1", pool[len(pool)-1])
+	nw.MarkOutput("o2", pool[len(pool)-2])
+	return nw
+}

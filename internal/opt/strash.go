@@ -1,0 +1,87 @@
+package opt
+
+import (
+	"sort"
+	"strings"
+
+	"powermap/internal/network"
+)
+
+// Strash performs structural hashing: internal nodes with identical local
+// functions over identical fanin sets are merged, rewiring fanouts and
+// output references to one representative. Commutative functions are
+// detected up to fanin permutation via a canonical key. Iterates to a
+// fixed point (merging two nodes can make their fanouts identical) and
+// returns the number of nodes merged.
+func Strash(nw *network.Network) int {
+	merged := 0
+	for {
+		changed := false
+		byKey := map[string]*network.Node{}
+		for _, n := range nw.TopoOrder() {
+			if n.Kind != network.Internal {
+				continue
+			}
+			key := strashKey(n)
+			rep, ok := byKey[key]
+			if !ok {
+				byKey[key] = n
+				continue
+			}
+			// Merge n into rep.
+			for _, fo := range append([]*network.Node(nil), n.Fanout...) {
+				nw.ReplaceFanin(fo, n, rep)
+			}
+			for i := range nw.Outputs {
+				if nw.Outputs[i].Driver == n {
+					nw.Outputs[i].Driver = rep
+				}
+			}
+			merged++
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	nw.Sweep()
+	return merged
+}
+
+// strashKey canonicalizes (function, fanins) up to fanin permutation: the
+// cover is re-expressed with fanins sorted by name, and cubes sorted.
+func strashKey(n *network.Node) string {
+	type col struct {
+		name string
+		v    int
+	}
+	cols := make([]col, len(n.Fanin))
+	for i, f := range n.Fanin {
+		cols[i] = col{name: f.Name, v: i}
+	}
+	// Position breaks ties so duplicate fanin signals keep a deterministic
+	// column order.
+	sort.Slice(cols, func(i, j int) bool {
+		if cols[i].name != cols[j].name {
+			return cols[i].name < cols[j].name
+		}
+		return cols[i].v < cols[j].v
+	})
+	var cubes []string
+	for _, c := range n.Func.Cubes {
+		var b strings.Builder
+		for _, cl := range cols {
+			b.WriteString(c[cl.v].String())
+		}
+		cubes = append(cubes, b.String())
+	}
+	sort.Strings(cubes)
+	var b strings.Builder
+	for _, cl := range cols {
+		b.WriteString(cl.name)
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(strings.Join(cubes, "+"))
+	return b.String()
+}

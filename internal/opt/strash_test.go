@@ -1,0 +1,103 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"powermap/internal/network"
+	"powermap/internal/sop"
+)
+
+func TestStrashMergesDuplicates(t *testing.T) {
+	nw := network.New("dup")
+	a, b := nw.AddPI("a"), nw.AddPI("b")
+	and := func() *sop.Cover {
+		f := sop.NewCover(2)
+		f.AddCube(sop.Cube{sop.Pos, sop.Pos})
+		return f
+	}
+	n1 := nw.AddNode("n1", []*network.Node{a, b}, and())
+	n2 := nw.AddNode("n2", []*network.Node{b, a}, and()) // commuted duplicate
+	inv := sop.FromLiteral(1, 0, false)
+	y1 := nw.AddNode("y1", []*network.Node{n1}, inv)
+	y2 := nw.AddNode("y2", []*network.Node{n2}, inv.Clone())
+	nw.MarkOutput("o1", y1)
+	nw.MarkOutput("o2", y2)
+	ref := nw.Duplicate()
+	merged := Strash(nw)
+	// n2 merges into n1 (commutative), then y2 merges into y1.
+	if merged != 2 {
+		t.Errorf("merged %d nodes, want 2", merged)
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, ref, nw)
+	if got := nw.Stats().Nodes; got != 2 {
+		t.Errorf("%d nodes remain, want 2", got)
+	}
+}
+
+func TestStrashDistinguishesPhases(t *testing.T) {
+	nw := network.New("ph")
+	a, b := nw.AddPI("a"), nw.AddPI("b")
+	f1 := sop.NewCover(2)
+	f1.AddCube(sop.Cube{sop.Pos, sop.Neg})
+	f2 := sop.NewCover(2)
+	f2.AddCube(sop.Cube{sop.Neg, sop.Pos})
+	n1 := nw.AddNode("n1", []*network.Node{a, b}, f1) // a·!b
+	n2 := nw.AddNode("n2", []*network.Node{a, b}, f2) // !a·b
+	nw.MarkOutput("o1", n1)
+	nw.MarkOutput("o2", n2)
+	if merged := Strash(nw); merged != 0 {
+		t.Errorf("distinct functions merged: %d", merged)
+	}
+	// But the commuted equivalent of n1 does merge: !b·a over (b,a).
+	f3 := sop.NewCover(2)
+	f3.AddCube(sop.Cube{sop.Neg, sop.Pos})
+	n3 := nw.AddNode("n3", []*network.Node{b, a}, f3) // !b·a == a·!b
+	nw.MarkOutput("o3", n3)
+	if merged := Strash(nw); merged != 1 {
+		t.Errorf("commuted duplicate not merged: %d", merged)
+	}
+}
+
+func TestStrashRandomPreservesFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 20; trial++ {
+		nw := randomNetwork(r, 4, 10)
+		ref := nw.Duplicate()
+		Strash(nw)
+		if err := nw.Check(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertEquivalent(t, ref, nw)
+	}
+}
+
+func TestStrashCascades(t *testing.T) {
+	// Two identical chains must collapse into one, requiring the
+	// fixed-point iteration.
+	nw := network.New("chain")
+	a, b := nw.AddPI("a"), nw.AddPI("b")
+	and := func() *sop.Cover {
+		f := sop.NewCover(2)
+		f.AddCube(sop.Cube{sop.Pos, sop.Pos})
+		return f
+	}
+	inv := func() *sop.Cover { return sop.FromLiteral(1, 0, false) }
+	c1 := nw.AddNode("c1", []*network.Node{a, b}, and())
+	d1 := nw.AddNode("d1", []*network.Node{c1}, inv())
+	c2 := nw.AddNode("c2", []*network.Node{a, b}, and())
+	d2 := nw.AddNode("d2", []*network.Node{c2}, inv())
+	e := nw.AddNode("e", []*network.Node{d1, d2}, and())
+	nw.MarkOutput("o", e)
+	Strash(nw)
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// e now reads the same node twice; total internal nodes = c, d, e.
+	if got := nw.Stats().Nodes; got != 3 {
+		t.Errorf("%d nodes remain, want 3", got)
+	}
+}

@@ -1,0 +1,38 @@
+// Package power implements the paper's average-power model (Equation 1):
+//
+//	P_avg = 0.5 · C_load · V_dd² / T_cycle · E(transitions)
+//
+// with the experimental conditions of Section 4: V_dd = 5 V and a 20 MHz
+// clock. Capacitances are expressed in library load units (0.01 pF per
+// unit, chosen so mapped benchmark circuits land in the paper's µW range),
+// and powers are reported in µW.
+package power
+
+// Environment captures the electrical operating point.
+type Environment struct {
+	Vdd      float64 // supply voltage, volts
+	FClk     float64 // clock frequency, Hz
+	CapUnitF float64 // farads per library capacitance unit
+}
+
+// Default returns the paper's experimental operating point: 5 V, 20 MHz,
+// 0.01 pF per load unit.
+func Default() Environment {
+	return Environment{Vdd: 5, FClk: 20e6, CapUnitF: 1e-14}
+}
+
+// GatePowerUW returns the average power in µW dissipated charging a load of
+// cLoad capacitance units with switching activity e (Equation 1, with
+// 1/T_cycle = f_clk).
+func (env Environment) GatePowerUW(cLoad, e float64) float64 {
+	watts := 0.5 * cLoad * env.CapUnitF * env.Vdd * env.Vdd * env.FClk * e
+	return watts * 1e6
+}
+
+// Report aggregates the three quantities of the paper's result tables.
+type Report struct {
+	GateArea float64 // total cell area
+	Delay    float64 // critical-path delay, ns
+	PowerUW  float64 // average power, µW
+	Gates    int     // mapped gate count
+}

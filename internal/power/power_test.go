@@ -1,0 +1,56 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultEnvironment(t *testing.T) {
+	env := Default()
+	if env.Vdd != 5 || env.FClk != 20e6 || env.CapUnitF != 1e-14 {
+		t.Errorf("default environment %+v", env)
+	}
+}
+
+func TestGatePowerEquation1(t *testing.T) {
+	env := Default()
+	// P = 0.5 * C * Vdd^2 * f * E; C = 1 unit = 0.01 pF, E = 1:
+	// 0.5 * 1e-14 * 25 * 2e7 = 2.5e-6 W = 2.5 uW.
+	if got := env.GatePowerUW(1, 1); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("GatePowerUW(1,1) = %v, want 2.5", got)
+	}
+	if got := env.GatePowerUW(2, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("GatePowerUW(2,0.5) = %v, want 2.5", got)
+	}
+	if got := env.GatePowerUW(0, 1); got != 0 {
+		t.Errorf("zero load gives power %v", got)
+	}
+}
+
+func TestGatePowerLinearity(t *testing.T) {
+	// Property: power is bilinear in load and activity.
+	env := Default()
+	f := func(c, e float64) bool {
+		c, e = math.Abs(c), math.Abs(e)
+		if math.IsInf(c, 0) || math.IsNaN(c) || math.IsInf(e, 0) || math.IsNaN(e) || c > 1e6 || e > 1e6 {
+			return true
+		}
+		lhs := env.GatePowerUW(2*c, e)
+		rhs := 2 * env.GatePowerUW(c, e)
+		return math.Abs(lhs-rhs) <= 1e-9*math.Max(1, math.Abs(lhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVoltageScaling(t *testing.T) {
+	// Halving Vdd quarters the power (the paper's motivation for voltage
+	// scaling, Section 1.1).
+	hi := Environment{Vdd: 5, FClk: 20e6, CapUnitF: 1e-14}
+	lo := Environment{Vdd: 2.5, FClk: 20e6, CapUnitF: 1e-14}
+	if got := hi.GatePowerUW(1, 0.5) / lo.GatePowerUW(1, 0.5); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Vdd scaling ratio %v, want 4", got)
+	}
+}

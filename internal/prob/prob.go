@@ -1,0 +1,264 @@
+// Package prob computes exact zero-delay signal probabilities and switching
+// activities for every node of a Boolean network, in the model of
+// Section 1.4 of the paper: global ROBDDs over the primary inputs are built
+// for every node, probabilities are evaluated by the Equation 2 linear
+// traversal, and switching activity follows the design style:
+//
+//	static CMOS:  E = P(0→1) + P(1→0) = 2·p·(1-p)   (Equation 3)
+//	domino p:     E = P(sig = 1)
+//	domino n:     E = P(sig = 0)
+//
+// Primary inputs are assumed spatially and temporally independent;
+// reconvergent fanout inside the network is handled exactly by the BDDs.
+// This is the repository's stand-in for the Ghosh et al. power estimator
+// the paper used.
+package prob
+
+import (
+	"fmt"
+
+	"powermap/internal/bdd"
+	"powermap/internal/huffman"
+	"powermap/internal/network"
+)
+
+// Model holds the global BDDs and probabilities of one network.
+type Model struct {
+	Style   huffman.Style
+	mgr     *bdd.Manager
+	global  map[*network.Node]bdd.Ref
+	piProb  []float64
+	piIndex map[*network.Node]int
+}
+
+// Compute builds global BDDs for every node reachable from the outputs of
+// nw and annotates each node's Prob1 and Activity fields. piProb supplies
+// P(pi=1) by input name; missing inputs default to 0.5.
+//
+// The BDD variable order follows a depth-first traversal of the network
+// from the outputs (the standard structural ordering heuristic), which
+// keeps related inputs adjacent and the diagrams small.
+func Compute(nw *network.Network, piProb map[string]float64, style huffman.Style) (m *Model, err error) {
+	m = &Model{
+		Style:   style,
+		mgr:     bdd.New(len(nw.PIs)),
+		global:  make(map[*network.Node]bdd.Ref),
+		piIndex: make(map[*network.Node]int),
+		piProb:  make([]float64, len(nw.PIs)),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if r == bdd.ErrNodeLimit {
+				m, err = nil, fmt.Errorf("prob: %w (network too wide for exact global BDDs)", bdd.ErrNodeLimit)
+				return
+			}
+			panic(r)
+		}
+	}()
+	for pi, level := range dfsVariableOrder(nw) {
+		m.piIndex[pi] = level
+		p, ok := piProb[pi.Name]
+		if !ok {
+			p = 0.5
+		}
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("prob: P(%s)=%v outside [0,1]", pi.Name, p)
+		}
+		m.piProb[level] = p
+	}
+	for _, n := range nw.TopoOrder() {
+		switch n.Kind {
+		case network.PI:
+			m.global[n] = m.mgr.Var(m.piIndex[n])
+		default:
+			inputs := make([]bdd.Ref, len(n.Fanin))
+			for i, f := range n.Fanin {
+				g, ok := m.global[f]
+				if !ok {
+					return nil, fmt.Errorf("prob: fanin %s of %s visited out of order", f.Name, n.Name)
+				}
+				inputs[i] = g
+			}
+			m.global[n] = m.mgr.FromCover(n.Func, inputs)
+		}
+		n.Prob1 = m.mgr.Prob(m.global[n], m.piProb)
+		n.Activity = m.activityOf(n.Prob1)
+	}
+	return m, nil
+}
+
+// dfsVariableOrder assigns each primary input a BDD level by first
+// encounter in a depth-first, fanin-first traversal from the outputs.
+// Unreachable inputs take the remaining levels.
+func dfsVariableOrder(nw *network.Network) map[*network.Node]int {
+	order := make(map[*network.Node]int, len(nw.PIs))
+	var visit func(n *network.Node)
+	visited := make(map[*network.Node]bool)
+	visit = func(n *network.Node) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		if n.Kind == network.PI {
+			order[n] = len(order)
+			return
+		}
+		for _, f := range n.Fanin {
+			visit(f)
+		}
+	}
+	for _, o := range nw.Outputs {
+		visit(o.Driver)
+	}
+	for _, pi := range nw.PIs {
+		if _, ok := order[pi]; !ok {
+			order[pi] = len(order)
+		}
+	}
+	return order
+}
+
+func (m *Model) activityOf(p1 float64) float64 {
+	switch m.Style {
+	case huffman.Static:
+		return 2 * p1 * (1 - p1)
+	case huffman.DominoP:
+		return p1
+	default:
+		return 1 - p1
+	}
+}
+
+// Manager exposes the underlying BDD manager (for equivalence checks).
+func (m *Model) Manager() *bdd.Manager { return m.mgr }
+
+// Global returns the global BDD of a node, or false when the node was not
+// reachable when the model was computed.
+func (m *Model) Global(n *network.Node) (bdd.Ref, bool) {
+	r, ok := m.global[n]
+	return r, ok
+}
+
+// Prob1 returns the exact 1-probability of a node's global function.
+func (m *Model) Prob1(n *network.Node) (float64, error) {
+	r, ok := m.global[n]
+	if !ok {
+		return 0, fmt.Errorf("prob: node %s has no global BDD", n.Name)
+	}
+	return m.mgr.Prob(r, m.piProb), nil
+}
+
+// ActivityOfRef returns the switching activity of an arbitrary global
+// function under the model's style.
+func (m *Model) ActivityOfRef(r bdd.Ref) float64 {
+	return m.activityOf(m.mgr.Prob(r, m.piProb))
+}
+
+// Prob1OfRef returns the 1-probability of an arbitrary global function.
+func (m *Model) Prob1OfRef(r bdd.Ref) float64 { return m.mgr.Prob(r, m.piProb) }
+
+// JointProb returns P(a=1 ∧ b=1) exactly, used to seed the correlated
+// decomposition algebra with pairwise joints of a node's fanins.
+func (m *Model) JointProb(a, b *network.Node) (float64, error) {
+	ra, ok := m.global[a]
+	if !ok {
+		return 0, fmt.Errorf("prob: node %s has no global BDD", a.Name)
+	}
+	rb, ok := m.global[b]
+	if !ok {
+		return 0, fmt.Errorf("prob: node %s has no global BDD", b.Name)
+	}
+	return m.mgr.Prob(m.mgr.And(ra, rb), m.piProb), nil
+}
+
+// PIProbs returns the per-PI probability vector in PI declaration order.
+func (m *Model) PIProbs() []float64 { return append([]float64(nil), m.piProb...) }
+
+// Register makes the model aware of a node created after Compute, whose
+// global function is the AND/OR combination of nodes already known to the
+// model. It returns the node's global BDD. This is how technology
+// decomposition keeps exact probabilities for the tree nodes it creates.
+func (m *Model) Register(n *network.Node) (bdd.Ref, error) {
+	if r, ok := m.global[n]; ok {
+		return r, nil
+	}
+	inputs := make([]bdd.Ref, len(n.Fanin))
+	for i, f := range n.Fanin {
+		r, ok := m.global[f]
+		if !ok {
+			// Recurse: the fanin may itself be freshly created.
+			var err error
+			r, err = m.Register(f)
+			if err != nil {
+				return 0, fmt.Errorf("prob: registering %s: %w", n.Name, err)
+			}
+		}
+		inputs[i] = r
+	}
+	if n.Func == nil {
+		return 0, fmt.Errorf("prob: node %s has no function to register", n.Name)
+	}
+	r := m.mgr.FromCover(n.Func, inputs)
+	m.global[n] = r
+	n.Prob1 = m.mgr.Prob(r, m.piProb)
+	n.Activity = m.activityOf(n.Prob1)
+	return r, nil
+}
+
+// EquivalentOutputs checks that two networks over the same PIs compute
+// identical output functions, by comparing global BDDs in one shared
+// manager. Outputs are matched by name.
+func EquivalentOutputs(a, b *network.Network) (bool, error) {
+	if len(a.PIs) != len(b.PIs) {
+		return false, fmt.Errorf("prob: PI count mismatch %d vs %d", len(a.PIs), len(b.PIs))
+	}
+	index := make(map[string]int, len(a.PIs))
+	for i, pi := range a.PIs {
+		index[pi.Name] = i
+	}
+	mgr := bdd.New(len(a.PIs))
+	build := func(nw *network.Network) (map[string]bdd.Ref, error) {
+		global := make(map[*network.Node]bdd.Ref)
+		for _, n := range nw.TopoOrder() {
+			if n.Kind == network.PI {
+				i, ok := index[n.Name]
+				if !ok {
+					return nil, fmt.Errorf("prob: PI %s missing from reference network", n.Name)
+				}
+				global[n] = mgr.Var(i)
+				continue
+			}
+			inputs := make([]bdd.Ref, len(n.Fanin))
+			for i, f := range n.Fanin {
+				inputs[i] = global[f]
+			}
+			global[n] = mgr.FromCover(n.Func, inputs)
+		}
+		outs := make(map[string]bdd.Ref, len(nw.Outputs))
+		for _, o := range nw.Outputs {
+			outs[o.Name] = global[o.Driver]
+		}
+		return outs, nil
+	}
+	ao, err := build(a)
+	if err != nil {
+		return false, err
+	}
+	bo, err := build(b)
+	if err != nil {
+		return false, err
+	}
+	if len(ao) != len(bo) {
+		return false, fmt.Errorf("prob: output count mismatch %d vs %d", len(ao), len(bo))
+	}
+	for name, ra := range ao {
+		rb, ok := bo[name]
+		if !ok {
+			return false, fmt.Errorf("prob: output %s missing", name)
+		}
+		if ra != rb {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,338 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"powermap/internal/blif"
+	"powermap/internal/huffman"
+	"powermap/internal/network"
+	"powermap/internal/sop"
+)
+
+func mustParse(t *testing.T, text string) *network.Network {
+	t.Helper()
+	nw, err := blif.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+const andOrBlif = `
+.model andor
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+`
+
+func TestComputeBasic(t *testing.T) {
+	nw := mustParse(t, andOrBlif)
+	m, err := Compute(nw, map[string]float64{"a": 0.5, "b": 0.5, "c": 0.5}, huffman.Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := nw.NodeByName("t")
+	if math.Abs(tn.Prob1-0.25) > 1e-12 {
+		t.Errorf("P(t) = %v, want 0.25", tn.Prob1)
+	}
+	y := nw.NodeByName("y")
+	// P(y) = P(t or c) = 0.25 + 0.5 - 0.125 = 0.625.
+	if math.Abs(y.Prob1-0.625) > 1e-12 {
+		t.Errorf("P(y) = %v, want 0.625", y.Prob1)
+	}
+	if math.Abs(y.Activity-2*0.625*0.375) > 1e-12 {
+		t.Errorf("E(y) = %v, want %v", y.Activity, 2*0.625*0.375)
+	}
+	_ = m
+}
+
+func TestComputeStyles(t *testing.T) {
+	nw := mustParse(t, andOrBlif)
+	if _, err := Compute(nw, nil, huffman.DominoP); err != nil {
+		t.Fatal(err)
+	}
+	y := nw.NodeByName("y")
+	if math.Abs(y.Activity-y.Prob1) > 1e-12 {
+		t.Errorf("domino-p activity %v != prob1 %v", y.Activity, y.Prob1)
+	}
+	if _, err := Compute(nw, nil, huffman.DominoN); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y.Activity-(1-y.Prob1)) > 1e-12 {
+		t.Errorf("domino-n activity %v != 1-prob1 %v", y.Activity, 1-y.Prob1)
+	}
+}
+
+func TestReconvergenceExact(t *testing.T) {
+	// y = (a AND b) OR (a AND c): naive independence would mis-estimate;
+	// the BDD model must be exact. P = P(a)(P(b)+P(c)-P(b)P(c)).
+	text := `
+.model reconv
+.inputs a b c
+.outputs y
+.names a b t1
+11 1
+.names a c t2
+11 1
+.names t1 t2 y
+1- 1
+-1 1
+.end
+`
+	nw := mustParse(t, text)
+	pa, pb, pc := 0.5, 0.3, 0.7
+	_, err := Compute(nw, map[string]float64{"a": pa, "b": pb, "c": pc}, huffman.Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pa * (pb + pc - pb*pc)
+	if got := nw.NodeByName("y").Prob1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("P(y) = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultProbability(t *testing.T) {
+	nw := mustParse(t, andOrBlif)
+	if _, err := Compute(nw, nil, huffman.Static); err != nil {
+		t.Fatal(err)
+	}
+	for _, pi := range nw.PIs {
+		if math.Abs(pi.Prob1-0.5) > 1e-12 {
+			t.Errorf("PI %s prob = %v, want 0.5", pi.Name, pi.Prob1)
+		}
+	}
+}
+
+func TestBadProbability(t *testing.T) {
+	nw := mustParse(t, andOrBlif)
+	if _, err := Compute(nw, map[string]float64{"a": 1.5}, huffman.Static); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+}
+
+func TestJointProb(t *testing.T) {
+	nw := mustParse(t, andOrBlif)
+	m, err := Compute(nw, nil, huffman.Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := nw.NodeByName("a"), nw.NodeByName("b")
+	jab, err := m.JointProb(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(jab-0.25) > 1e-12 {
+		t.Errorf("P(a,b) = %v, want 0.25", jab)
+	}
+	// Joint of t with a: t implies a, so P(t,a) = P(t) = 0.25.
+	tn := nw.NodeByName("t")
+	jta, err := m.JointProb(tn, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(jta-0.25) > 1e-12 {
+		t.Errorf("P(t,a) = %v, want 0.25", jta)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	nw := mustParse(t, andOrBlif)
+	m, err := Compute(nw, nil, huffman.Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a new AND node over a and c after the model was computed.
+	and := sop.NewCover(2)
+	and.AddCube(sop.Cube{sop.Pos, sop.Pos})
+	n := nw.AddNode("late", []*network.Node{nw.NodeByName("a"), nw.NodeByName("c")}, and)
+	if _, err := m.Register(n); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n.Prob1-0.25) > 1e-12 {
+		t.Errorf("registered node prob = %v, want 0.25", n.Prob1)
+	}
+	// Chained registration: node over the fresh node.
+	inv := sop.FromLiteral(1, 0, false)
+	n2 := nw.AddNode("late2", []*network.Node{n}, inv)
+	if _, err := m.Register(n2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n2.Prob1-0.75) > 1e-12 {
+		t.Errorf("chained registered node prob = %v, want 0.75", n2.Prob1)
+	}
+}
+
+func TestEquivalentOutputs(t *testing.T) {
+	a := mustParse(t, andOrBlif)
+	b := a.Duplicate()
+	ok, err := EquivalentOutputs(a, b)
+	if err != nil || !ok {
+		t.Fatalf("duplicate not equivalent: %v %v", ok, err)
+	}
+	// Change b's output function.
+	y := b.NodeByName("y")
+	y.Func = sop.FromLiteral(2, 0, true)
+	ok, err = EquivalentOutputs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("different networks reported equivalent")
+	}
+}
+
+func TestProbMatchesSimulation(t *testing.T) {
+	// Property: BDD probability equals weighted truth-table enumeration on
+	// random small networks.
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		nw := randomNetwork(r, 4, 5)
+		pp := map[string]float64{}
+		probs := make([]float64, 4)
+		for i, pi := range nw.PIs {
+			probs[i] = r.Float64()
+			pp[pi.Name] = probs[i]
+		}
+		if _, err := Compute(nw, pp, huffman.Static); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range nw.Outputs {
+			want := 0.0
+			for bits := 0; bits < 16; bits++ {
+				assign := map[string]bool{}
+				w := 1.0
+				for i, pi := range nw.PIs {
+					v := bits>>i&1 != 0
+					assign[pi.Name] = v
+					if v {
+						w *= probs[i]
+					} else {
+						w *= 1 - probs[i]
+					}
+				}
+				if nw.Eval(assign)[o.Name] {
+					want += w
+				}
+			}
+			if math.Abs(o.Driver.Prob1-want) > 1e-9 {
+				t.Fatalf("output %s: BDD prob %v, simulated %v", o.Name, o.Driver.Prob1, want)
+			}
+		}
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	nw := mustParse(t, andOrBlif)
+	m, err := Compute(nw, nil, huffman.Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := nw.NodeByName("y")
+	p, err := m.Prob1(y)
+	if err != nil || math.Abs(p-y.Prob1) > 1e-12 {
+		t.Errorf("Prob1 accessor: %v %v", p, err)
+	}
+	ref, ok := m.Global(y)
+	if !ok {
+		t.Fatal("no global BDD for y")
+	}
+	if got := m.Prob1OfRef(ref); math.Abs(got-p) > 1e-12 {
+		t.Errorf("Prob1OfRef = %v, want %v", got, p)
+	}
+	if got := m.ActivityOfRef(ref); math.Abs(got-2*p*(1-p)) > 1e-12 {
+		t.Errorf("ActivityOfRef = %v", got)
+	}
+	pp := m.PIProbs()
+	if len(pp) != 3 {
+		t.Errorf("PIProbs len %d", len(pp))
+	}
+	// Accessors on an unknown node fail cleanly.
+	other := mustParse(t, andOrBlif)
+	if _, err := m.Prob1(other.NodeByName("y")); err == nil {
+		t.Error("foreign node accepted by Prob1")
+	}
+	if _, err := m.JointProb(y, other.NodeByName("y")); err == nil {
+		t.Error("foreign node accepted by JointProb")
+	}
+	if _, err := m.JointProb(other.NodeByName("y"), y); err == nil {
+		t.Error("foreign node accepted by JointProb (first arg)")
+	}
+	if _, ok := m.Global(other.NodeByName("y")); ok {
+		t.Error("foreign node has a global BDD")
+	}
+}
+
+func TestEquivalentOutputsMismatches(t *testing.T) {
+	a := mustParse(t, andOrBlif)
+	// Different PI count.
+	b := mustParse(t, ".model x\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
+	if _, err := EquivalentOutputs(a, b); err == nil {
+		t.Error("PI count mismatch accepted")
+	}
+	// Different PI names.
+	c := mustParse(t, ".model x\n.inputs a b q\n.outputs y\n.names a b q y\n111 1\n.end\n")
+	if _, err := EquivalentOutputs(a, c); err == nil {
+		t.Error("PI name mismatch accepted")
+	}
+	// Different output names.
+	d := mustParse(t, ".model x\n.inputs a b c\n.outputs z\n.names a b c z\n111 1\n.end\n")
+	if _, err := EquivalentOutputs(a, d); err == nil {
+		t.Error("output name mismatch accepted")
+	}
+}
+
+func TestDFSOrderCoversUnreachablePIs(t *testing.T) {
+	// An unreachable PI must still get a variable level.
+	nw := mustParse(t, andOrBlif)
+	nw.AddPI("unused")
+	m, err := Compute(nw, nil, huffman.Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.PIProbs()); got != 4 {
+		t.Errorf("PIProbs len %d, want 4", got)
+	}
+}
+
+// randomNetwork builds a random small network for property tests.
+func randomNetwork(r *rand.Rand, npi, nnodes int) *network.Network {
+	nw := network.New("rand")
+	pool := make([]*network.Node, 0, npi+nnodes)
+	for i := 0; i < npi; i++ {
+		pool = append(pool, nw.AddPI(nw.FreshName("pi")))
+	}
+	for i := 0; i < nnodes; i++ {
+		k := 1 + r.Intn(3)
+		fanins := make([]*network.Node, 0, k)
+		seen := map[*network.Node]bool{}
+		for len(fanins) < k {
+			f := pool[r.Intn(len(pool))]
+			if !seen[f] {
+				seen[f] = true
+				fanins = append(fanins, f)
+			}
+		}
+		f := sop.NewCover(len(fanins))
+		for c := 0; c < 1+r.Intn(2); c++ {
+			cube := sop.NewCube(len(fanins))
+			for v := range cube {
+				cube[v] = sop.Lit(r.Intn(3))
+			}
+			f.AddCube(cube)
+		}
+		f.Minimize()
+		if f.IsZero() {
+			f = sop.FromLiteral(len(fanins), 0, true)
+		}
+		pool = append(pool, nw.AddNode(nw.FreshName("n"), fanins, f))
+	}
+	nw.MarkOutput("out", pool[len(pool)-1])
+	return nw
+}

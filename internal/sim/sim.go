@@ -1,0 +1,238 @@
+// Package sim implements simulation-based switching-activity estimation:
+//
+//   - Monte-Carlo zero-delay estimation on Boolean networks, which
+//     cross-validates the exact BDD probabilities of internal/prob on
+//     independent random input pairs (the paper's model, Section 1.4);
+//   - unit-delay glitch-aware transition counting on mapped netlists, in
+//     the spirit of the general-delay estimator of Ghosh et al. that the
+//     paper cites: unequal path delays cause hazard transitions that the
+//     zero-delay model ignores, so glitch-aware power is an upper bound on
+//     (and usually strictly above) the zero-delay estimate.
+//
+// Both estimators share the input-vector model: consecutive input vectors
+// are drawn independently with per-input 1-probabilities.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"powermap/internal/mapper"
+	"powermap/internal/network"
+	"powermap/internal/power"
+)
+
+// Estimate is a per-signal simulation result.
+type Estimate struct {
+	Prob1    float64 // fraction of time the signal is 1
+	Activity float64 // transitions per cycle (zero-delay: 0 or 1 per pair)
+}
+
+// VectorSource draws one primary-input assignment into dst (keyed by PI
+// name). Implementations may model arbitrary spatial correlation between
+// inputs; temporal independence between consecutive calls is assumed by
+// the zero-delay activity interpretation.
+type VectorSource func(dst map[string]bool)
+
+// IndependentSource returns a VectorSource with independent inputs:
+// P(pi=1) from piProb, defaulting to 0.5.
+func IndependentSource(nw *network.Network, piProb map[string]float64, seed int64) VectorSource {
+	r := rand.New(rand.NewSource(seed))
+	return func(dst map[string]bool) {
+		for _, pi := range nw.PIs {
+			p, ok := piProb[pi.Name]
+			if !ok {
+				p = 0.5
+			}
+			dst[pi.Name] = r.Float64() < p
+		}
+	}
+}
+
+// Activities estimates zero-delay signal probabilities and toggle
+// activities for every reachable node by simulating vector pairs with
+// independent inputs.
+func Activities(nw *network.Network, piProb map[string]float64, vectors int, seed int64) (map[*network.Node]Estimate, error) {
+	return ActivitiesFrom(nw, IndependentSource(nw, piProb, seed), vectors)
+}
+
+// ActivitiesFrom is Activities with an arbitrary input-vector source,
+// enabling correlated-input experiments (Section 2.1.1).
+func ActivitiesFrom(nw *network.Network, src VectorSource, vectors int) (map[*network.Node]Estimate, error) {
+	if vectors <= 0 {
+		return nil, fmt.Errorf("sim: need a positive vector count, got %d", vectors)
+	}
+	order := nw.TopoOrder()
+	ones := make(map[*network.Node]int)
+	toggles := make(map[*network.Node]int)
+	prev := make(map[*network.Node]bool)
+	cur := make(map[*network.Node]bool)
+	named := make(map[string]bool, len(nw.PIs))
+	draw := func(dst map[*network.Node]bool) {
+		src(named)
+		for _, n := range order {
+			switch {
+			case n.Kind == network.PI:
+				dst[n] = named[n.Name]
+			default:
+				assign := make([]bool, len(n.Fanin))
+				for i, f := range n.Fanin {
+					assign[i] = dst[f]
+				}
+				dst[n] = n.Func.Eval(assign)
+			}
+		}
+	}
+	draw(prev)
+	for v := 0; v < vectors; v++ {
+		draw(cur)
+		for _, n := range order {
+			if cur[n] {
+				ones[n]++
+			}
+			if cur[n] != prev[n] {
+				toggles[n]++
+			}
+		}
+		prev, cur = cur, prev
+	}
+	out := make(map[*network.Node]Estimate, len(order))
+	for _, n := range order {
+		out[n] = Estimate{
+			Prob1:    float64(ones[n]) / float64(vectors),
+			Activity: float64(toggles[n]) / float64(vectors),
+		}
+	}
+	return out, nil
+}
+
+// GlitchReport is the outcome of a glitch-aware netlist simulation.
+type GlitchReport struct {
+	// Transitions counts per-cycle transitions (including hazards) at
+	// every mapped signal.
+	Transitions map[*network.Node]float64
+	// ZeroDelay counts per-cycle final-value toggles at the same signals
+	// over the same vectors, for direct comparison.
+	ZeroDelay map[*network.Node]float64
+	// PowerUW and ZeroDelayPowerUW price the two activity sets with the
+	// actual mapped loads (Equation 1).
+	PowerUW          float64
+	ZeroDelayPowerUW float64
+	Vectors          int
+}
+
+// Glitch simulates the mapped netlist under a unit-delay model: after each
+// input change, gate outputs update once per time step from their inputs'
+// previous-step values, and every intermediate change counts as a
+// transition. Transitions at a signal are therefore ≥ its zero-delay
+// toggles on the same vectors.
+func Glitch(nl *mapper.Netlist, sub *network.Network, piProb map[string]float64, vectors int, seed int64, env power.Environment) (*GlitchReport, error) {
+	if vectors <= 0 {
+		return nil, fmt.Errorf("sim: need a positive vector count, got %d", vectors)
+	}
+	r := rand.New(rand.NewSource(seed))
+	// Collect the mapped signals: gate roots + their source inputs.
+	var gates []*mapper.Gate
+	signals := map[*network.Node]bool{}
+	for _, g := range allGates(nl, sub) {
+		gates = append(gates, g)
+		signals[g.Root] = true
+		for _, in := range g.Inputs {
+			signals[in] = true
+		}
+	}
+	value := map[*network.Node]bool{}
+	trans := map[*network.Node]float64{}
+	zero := map[*network.Node]float64{}
+
+	evalGate := func(g *mapper.Gate, val map[*network.Node]bool) bool {
+		assign := make(map[string]bool, len(g.Inputs))
+		for pin, in := range g.Inputs {
+			assign[g.Cell.Pins[pin].Name] = val[in]
+		}
+		return g.Cell.Expr.Eval(assign)
+	}
+	drawPIs := func() {
+		for _, pi := range sub.PIs {
+			p, ok := piProb[pi.Name]
+			if !ok {
+				p = 0.5
+			}
+			value[pi] = r.Float64() < p
+		}
+	}
+	settle := func(count bool) {
+		// Synchronous unit-delay relaxation to a fixed point. The netlist
+		// is acyclic, so at most depth(netlist) steps are needed.
+		for step := 0; step < len(gates)+1; step++ {
+			next := make(map[*network.Node]bool, len(gates))
+			changed := false
+			for _, g := range gates {
+				v := evalGate(g, value)
+				next[g.Root] = v
+				if v != value[g.Root] {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+			for root, v := range next {
+				if v != value[root] {
+					if count {
+						trans[root]++
+					}
+					value[root] = v
+				}
+			}
+		}
+	}
+	drawPIs()
+	settle(false) // initialize without counting
+	prevFinal := map[*network.Node]bool{}
+	for s := range signals {
+		prevFinal[s] = value[s]
+	}
+	for v := 0; v < vectors; v++ {
+		// New input vector: PIs toggle instantly and count as transitions.
+		for _, pi := range sub.PIs {
+			old := value[pi]
+			p, ok := piProb[pi.Name]
+			if !ok {
+				p = 0.5
+			}
+			nv := r.Float64() < p
+			value[pi] = nv
+			if nv != old && signals[pi] {
+				trans[pi]++
+			}
+		}
+		settle(true)
+		for s := range signals {
+			if value[s] != prevFinal[s] {
+				zero[s]++
+			}
+			prevFinal[s] = value[s]
+		}
+	}
+	rep := &GlitchReport{
+		Transitions: make(map[*network.Node]float64, len(signals)),
+		ZeroDelay:   make(map[*network.Node]float64, len(signals)),
+		Vectors:     vectors,
+	}
+	for s := range signals {
+		rep.Transitions[s] = trans[s] / float64(vectors)
+		rep.ZeroDelay[s] = zero[s] / float64(vectors)
+		load := nl.Load(s)
+		rep.PowerUW += env.GatePowerUW(load, rep.Transitions[s])
+		rep.ZeroDelayPowerUW += env.GatePowerUW(load, rep.ZeroDelay[s])
+	}
+	return rep, nil
+}
+
+// allGates returns the netlist's gates reachable from the outputs (the
+// Netlist already stores exactly those).
+func allGates(nl *mapper.Netlist, sub *network.Network) []*mapper.Gate {
+	_ = sub
+	return nl.Gates
+}

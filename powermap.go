@@ -1,0 +1,168 @@
+// Package powermap is a from-scratch reproduction of "Technology
+// Decomposition and Mapping Targeting Low Power Dissipation" (Tsui, Pedram,
+// Despain; DAC 1993): power-aware technology decomposition and technology
+// mapping for combinational CMOS logic, together with every substrate the
+// paper depends on — Boolean networks, BLIF I/O, ROBDDs with exact signal
+// probabilities, Huffman/package-merge tree constructions, a genlib cell
+// library with the SIS pin-dependent delay model, and a curve-based tree
+// mapper.
+//
+// This root package is the stable facade: it re-exports the flow entry
+// points and the types a downstream user needs. The implementation lives
+// in internal/ packages (one per subsystem; see DESIGN.md).
+//
+// Quick start:
+//
+//	nw, _ := powermap.ParseBLIF(strings.NewReader(myBlif))
+//	res, _ := powermap.Synthesize(nw, powermap.Options{
+//		Method: powermap.MethodVI, // bounded-height MINPOWER + pd-map
+//		Style:  powermap.Static,
+//	})
+//	fmt.Printf("area %.0f, delay %.2f ns, power %.2f uW\n",
+//		res.Report.GateArea, res.Report.Delay, res.Report.PowerUW)
+package powermap
+
+import (
+	"io"
+
+	"powermap/internal/blif"
+	"powermap/internal/circuits"
+	"powermap/internal/core"
+	"powermap/internal/decomp"
+	"powermap/internal/eval"
+	"powermap/internal/genlib"
+	"powermap/internal/huffman"
+	"powermap/internal/mapper"
+	"powermap/internal/network"
+	"powermap/internal/power"
+	"powermap/internal/prob"
+)
+
+// Core flow types.
+type (
+	// Options configures a synthesis run; see core.Options.
+	Options = core.Options
+	// Result is a completed synthesis run.
+	Result = core.Result
+	// Method is one of the paper's six decomposition×mapping combinations.
+	Method = core.Method
+	// Network is a multi-level Boolean network.
+	Network = network.Network
+	// Node is one vertex of a Network.
+	Node = network.Node
+	// Netlist is a mapped gate-level circuit.
+	Netlist = mapper.Netlist
+	// Report carries gate area, delay (ns) and average power (µW).
+	Report = power.Report
+	// Library is a standard-cell library in genlib form.
+	Library = genlib.Library
+	// Style is the CMOS design style whose activity is minimized.
+	Style = huffman.Style
+	// Strategy selects the technology-decomposition algorithm.
+	Strategy = decomp.Strategy
+	// Objective selects the mapping cost (area-delay or power-delay).
+	Objective = mapper.Objective
+	// Benchmark is one entry of the built-in benchmark suite.
+	Benchmark = circuits.Benchmark
+)
+
+// The paper's six experimental methods (Tables 2 and 3).
+const (
+	MethodI   = core.MethodI
+	MethodII  = core.MethodII
+	MethodIII = core.MethodIII
+	MethodIV  = core.MethodIV
+	MethodV   = core.MethodV
+	MethodVI  = core.MethodVI
+)
+
+// Design styles (Section 1.2).
+const (
+	Static  = huffman.Static
+	DominoP = huffman.DominoP
+	DominoN = huffman.DominoN
+)
+
+// Decomposition strategies (Section 2).
+const (
+	Conventional    = decomp.Conventional
+	MinPower        = decomp.MinPower
+	BoundedMinPower = decomp.BoundedMinPower
+)
+
+// Mapping objectives (Section 3).
+const (
+	AreaDelay  = mapper.AreaDelay
+	PowerDelay = mapper.PowerDelay
+)
+
+// Synthesize runs the full flow — quick-opt, power-efficient technology
+// decomposition, power-efficient technology mapping — on a copy of the
+// input network.
+func Synthesize(nw *Network, o Options) (*Result, error) { return core.Synthesize(nw, o) }
+
+// Verify checks a synthesis result against its source network with exact
+// BDD equivalence.
+func Verify(src *Network, res *Result) error { return core.VerifyAgainstSource(src, res) }
+
+// Methods lists the six methods in table order.
+func Methods() []Method { return core.Methods() }
+
+// ParseBLIF reads a BLIF netlist into a Network (latches are cut into
+// pseudo-PI/PO pairs).
+func ParseBLIF(r io.Reader) (*Network, error) { return blif.Parse(r) }
+
+// ParseBLIFString is ParseBLIF over a string.
+func ParseBLIFString(s string) (*Network, error) { return blif.ParseString(s) }
+
+// WriteBLIF serializes a Network as BLIF.
+func WriteBLIF(w io.Writer, nw *Network) error { return blif.Write(w, nw) }
+
+// Lib2 returns the embedded lib2-style standard-cell library.
+func Lib2() *Library { return genlib.Lib2() }
+
+// ParseGenlib reads a genlib library description.
+func ParseGenlib(r io.Reader) (*Library, error) { return genlib.Parse(r) }
+
+// Benchmarks returns the 17-circuit suite of the paper's Tables 2 and 3.
+func Benchmarks() []Benchmark { return circuits.Suite() }
+
+// BenchmarkByName looks up one benchmark.
+func BenchmarkByName(name string) (Benchmark, error) { return circuits.ByName(name) }
+
+// Figure1 returns the worked example of the paper's Figure 1: a 4-input
+// AND with input probabilities {0.3, 0.4, 0.7, 0.5}.
+func Figure1() (*Network, map[string]float64) { return circuits.Figure1() }
+
+// EstimateActivities annotates every node of the network with its exact
+// zero-delay signal probability and switching activity (Equations 2–3) and
+// returns the probability model.
+func EstimateActivities(nw *Network, piProb map[string]float64, style Style) (*prob.Model, error) {
+	return prob.Compute(nw, piProb, style)
+}
+
+// Equivalent reports whether two networks over the same primary inputs
+// compute identical outputs (exact, via shared BDDs).
+func Equivalent(a, b *Network) (bool, error) { return prob.EquivalentOutputs(a, b) }
+
+// Experiment harness re-exports (see cmd/tables for the CLI).
+type (
+	// Table1Row is one row of the paper's Table 1.
+	Table1Row = eval.Table1Row
+	// CircuitRow is one benchmark's results across methods.
+	CircuitRow = eval.CircuitRow
+	// Summary aggregates the Section 4 comparison ratios.
+	Summary = eval.Summary
+)
+
+// Table1 reproduces the Table 1 simulation.
+func Table1(patterns int, seed int64) []Table1Row { return eval.Table1(patterns, seed) }
+
+// RunSuite synthesizes benchmarks with the given methods under common
+// per-circuit timing constraints (the Tables 2/3 protocol).
+func RunSuite(methods []Method, base Options, names []string) ([]CircuitRow, error) {
+	return eval.RunSuite(methods, base, names)
+}
+
+// Summarize computes the Section 4 summary ratios from six-method rows.
+func Summarize(rows []CircuitRow) Summary { return eval.Summarize(rows) }
