@@ -2,16 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build test short bench fuzz tables verify clean
+.PHONY: all build vet test race check short bench fuzz tables verify clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The pre-merge gate: compile, static analysis, full tests, race tests.
+check: build vet test race
 
 short:
 	$(GO) test -short ./...

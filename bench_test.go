@@ -91,6 +91,34 @@ func BenchmarkFigure1(b *testing.B) {
 	}
 }
 
+// BenchmarkFlow measures the end-to-end flow with observability off (nil
+// scope, the default fast path) and on (full span + metric collection).
+// The off variant is the regression guard: instrumentation must stay a
+// nil-check away from free when no scope is installed.
+func BenchmarkFlow(b *testing.B) {
+	bench, err := BenchmarkByName("s208")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := bench.Build()
+	run := func(b *testing.B, sc *Scope) {
+		for i := 0; i < b.N; i++ {
+			res, err := Synthesize(src, Options{Method: MethodV, Style: Static, Obs: sc})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Report.PowerUW, "uW")
+		}
+	}
+	b.Run("obs-off", func(b *testing.B) { run(b, nil) })
+	b.Run("obs-on", func(b *testing.B) {
+		sc := NewScope(ObsConfig{})
+		run(b, sc)
+		sn := sc.Snapshot()
+		b.ReportMetric(float64(len(sn.Counters)), "counters")
+	})
+}
+
 // --- Ablation benches (DESIGN.md §5) ---
 
 // synthAblation measures one flow variant on alu2, reporting power/area.

@@ -9,6 +9,7 @@
 //	pmap -blif circuit.blif -method VI
 //	pmap -circuit alu2 -method IV -style static -relax 0.2 -gates
 //	pmap -circuit s208 -method I -recover -write mapped.blif
+//	pmap -circuit cm42a -v -stats stats.json -cpuprofile cpu.pprof
 package main
 
 import (
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	if err := cli.Pmap(os.Args[1:], os.Stdout); err != nil {
+	if err := cli.Pmap(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "pmap:", err)
 		os.Exit(1)
 	}

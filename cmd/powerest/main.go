@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	if err := cli.Powerest(os.Args[1:], os.Stdout); err != nil {
+	if err := cli.Powerest(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "powerest:", err)
 		os.Exit(1)
 	}

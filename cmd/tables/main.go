@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	if err := cli.Tables(os.Args[1:], os.Stdout); err != nil {
+	if err := cli.Tables(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}

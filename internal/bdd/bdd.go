@@ -54,6 +54,22 @@ const (
 // configured node limit.
 var ErrNodeLimit = errors.New("bdd: node limit exceeded")
 
+// Stats counts the work a Manager has performed since creation. The
+// counters are plain integers bumped on the hot paths (the manager is
+// single-threaded by contract), cheap enough to stay always-on; callers
+// that thread an obs.Scope flush them into the metrics registry.
+type Stats struct {
+	// Allocs is the number of nodes created (terminals excluded).
+	Allocs int64
+	// UniqueHits counts mk calls answered from the unique table (or
+	// collapsed by the lo==hi reduction rule).
+	UniqueHits int64
+	// CacheHits / CacheMisses count computed-table lookups in the apply
+	// and ite operators.
+	CacheHits   int64
+	CacheMisses int64
+}
+
 // Manager owns a forest of ROBDD nodes over a fixed variable order.
 // Variable i has level i; smaller levels are tested first.
 type Manager struct {
@@ -62,6 +78,7 @@ type Manager struct {
 	computed map[cacheKey]Ref
 	numVars  int
 	limit    int
+	stats    Stats
 }
 
 // New returns a manager over numVars variables with a default node limit
@@ -91,6 +108,9 @@ func (m *Manager) NumVars() int { return m.numVars }
 // NumNodes returns the number of live nodes, including the two terminals.
 func (m *Manager) NumNodes() int { return len(m.nodes) }
 
+// Stats returns the work counters accumulated since creation.
+func (m *Manager) Stats() Stats { return m.stats }
+
 // Var returns the BDD for variable v.
 func (m *Manager) Var(v int) Ref {
 	if v < 0 || v >= m.numVars {
@@ -109,10 +129,12 @@ func (m *Manager) NVar(v int) Ref {
 
 func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	if lo == hi {
+		m.stats.UniqueHits++
 		return lo
 	}
 	key := triple{level, lo, hi}
 	if r, ok := m.unique[key]; ok {
+		m.stats.UniqueHits++
 		return r
 	}
 	if len(m.nodes) >= m.limit {
@@ -121,6 +143,7 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
 	m.unique[key] = r
+	m.stats.Allocs++
 	return r
 }
 
@@ -187,8 +210,10 @@ func (m *Manager) apply(op int32, f, g Ref) Ref {
 	}
 	key := cacheKey{op: op, f: a, g: b}
 	if r, ok := m.computed[key]; ok {
+		m.stats.CacheHits++
 		return r
 	}
+	m.stats.CacheMisses++
 	lf, lg := m.level(a), m.level(b)
 	top := lf
 	if lg < top {
@@ -223,8 +248,10 @@ func (m *Manager) Ite(f, g, h Ref) Ref {
 	}
 	key := cacheKey{op: opIte, f: f, g: g, h: h}
 	if r, ok := m.computed[key]; ok {
+		m.stats.CacheHits++
 		return r
 	}
+	m.stats.CacheMisses++
 	top := m.level(f)
 	if l := m.level(g); l < top {
 		top = l

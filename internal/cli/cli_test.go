@@ -2,10 +2,13 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"powermap/internal/obs"
 )
 
 func writeTempBlif(t *testing.T) string {
@@ -30,8 +33,8 @@ func writeTempBlif(t *testing.T) string {
 }
 
 func TestPmapList(t *testing.T) {
-	var out bytes.Buffer
-	if err := Pmap([]string{"-list"}, &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := Pmap([]string{"-list"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"s208", "cm42a", "alu2"} {
@@ -43,8 +46,8 @@ func TestPmapList(t *testing.T) {
 
 func TestPmapBlifFlow(t *testing.T) {
 	path := writeTempBlif(t)
-	var out bytes.Buffer
-	if err := Pmap([]string{"-blif", path, "-method", "V", "-gates"}, &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := Pmap([]string{"-blif", path, "-method", "V", "-gates"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"circuit clitest", "mapped:", "gate list", "cell usage"} {
@@ -59,8 +62,8 @@ func TestPmapWriteAndDot(t *testing.T) {
 	dir := t.TempDir()
 	mapped := filepath.Join(dir, "m.blif")
 	dot := filepath.Join(dir, "m.dot")
-	var out bytes.Buffer
-	err := Pmap([]string{"-blif", path, "-method", "IV", "-write", mapped, "-dot", dot, "-recover", "-glitch", "200"}, &out)
+	var out, errOut bytes.Buffer
+	err := Pmap([]string{"-blif", path, "-method", "IV", "-write", mapped, "-dot", dot, "-recover", "-glitch", "200"}, &out, &errOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,17 +89,119 @@ func TestPmapErrors(t *testing.T) {
 		{"-blif", "/nonexistent", "-circuit", "cm42a"}, // both inputs
 	}
 	for _, args := range cases {
-		var out bytes.Buffer
-		if err := Pmap(args, &out); err == nil {
+		var out, errOut bytes.Buffer
+		if err := Pmap(args, &out, &errOut); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
 }
 
+// Flag-parse errors and usage must go to the error writer, never the
+// primary output (so piped reports and -stats - stay machine-readable).
+func TestPmapUsageGoesToErrWriter(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := Pmap([]string{"-definitely-not-a-flag"}, &out, &errOut); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if out.Len() != 0 {
+		t.Errorf("flag error leaked to primary output:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "flag") {
+		t.Errorf("error writer missing usage/diagnostic:\n%s", errOut.String())
+	}
+}
+
+// TestPmapStatsJSON is the observability golden test: a full run with
+// -v -stats must emit phase spans to the error writer and a JSON snapshot
+// with the expected phase names and nonzero counters from every
+// instrumented package (decomp, mapper, bdd, timing).
+func TestPmapStatsJSON(t *testing.T) {
+	statsPath := filepath.Join(t.TempDir(), "stats.json")
+	var out, errOut bytes.Buffer
+	if err := Pmap([]string{"-circuit", "cm42a", "-method", "VI", "-v", "-stats", statsPath}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sn, err := obs.ParseSnapshot(f)
+	if err != nil {
+		t.Fatalf("stats file is not a valid snapshot: %v", err)
+	}
+
+	phases := map[string]bool{}
+	for _, s := range sn.Spans {
+		phases[s.Name] = true
+		if s.DurationNs < 0 {
+			t.Errorf("span %s has negative duration", s.Name)
+		}
+	}
+	for _, want := range []string{
+		"quick-opt", "decompose", "map", "verify-netlist", "verify-source",
+		"decomp.plan-trees", "decomp.slack-targets", "mapper.curves", "mapper.select",
+		"timing.annotate",
+	} {
+		if !phases[want] {
+			t.Errorf("snapshot missing phase span %q; have %v", want, phases)
+		}
+	}
+
+	// At least one nonzero decomposition counter, and coverage from all
+	// four instrumented packages.
+	if sn.Counters["decomp.nodes_planned"] <= 0 {
+		t.Errorf("decomp.nodes_planned = %d, want > 0", sn.Counters["decomp.nodes_planned"])
+	}
+	for _, prefix := range []string{"decomp.", "mapper.", "bdd.", "timing."} {
+		found := false
+		for name, v := range sn.Counters {
+			if strings.HasPrefix(name, prefix) && v > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no nonzero counter with prefix %q in snapshot: %v", prefix, sn.Counters)
+		}
+	}
+
+	// -v phase log lines arrive on the error writer via slog.
+	for _, want := range []string{"phase", "decompose", "mapper.select"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("verbose log missing %q:\n%s", want, errOut.String())
+		}
+	}
+	// The report itself stays clean on the primary writer.
+	if strings.Contains(out.String(), "phase") {
+		t.Errorf("phase logs leaked to primary output:\n%s", out.String())
+	}
+}
+
+// -stats - writes the snapshot JSON to the primary writer after the report.
+func TestPmapStatsToStdout(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := Pmap([]string{"-circuit", "cm42a", "-stats", "-"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(out.String(), "{")
+	if idx < 0 {
+		t.Fatalf("no JSON object in output:\n%s", out.String())
+	}
+	var sn obs.Snapshot
+	if err := json.Unmarshal([]byte(out.String()[idx:]), &sn); err != nil {
+		t.Fatalf("trailing JSON does not parse: %v", err)
+	}
+	if len(sn.Spans) == 0 {
+		t.Error("snapshot has no spans")
+	}
+}
+
 func TestPowerest(t *testing.T) {
 	path := writeTempBlif(t)
-	var out bytes.Buffer
-	if err := Powerest([]string{"-blif", path, "-mc", "2000", "-nodes"}, &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := Powerest([]string{"-blif", path, "-mc", "2000", "-nodes"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"total internal switching activity", "Monte-Carlo", "P(1)"} {
@@ -104,14 +209,34 @@ func TestPowerest(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
 	}
-	if err := Powerest([]string{}, &out); err == nil {
+	if err := Powerest([]string{}, &out, &errOut); err == nil {
 		t.Error("missing -blif accepted")
 	}
 }
 
+func TestProfileFlags(t *testing.T) {
+	path := writeTempBlif(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut bytes.Buffer
+	if err := Pmap([]string{"-blif", path, "-cpuprofile", cpu, "-memprofile", mem}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
 func TestTablesFigure1(t *testing.T) {
-	var out bytes.Buffer
-	if err := Tables([]string{"-table", "figure1"}, &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := Tables([]string{"-table", "figure1"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "SR = 2.146") || !strings.Contains(out.String(), "SR = 2.412") {
@@ -120,8 +245,8 @@ func TestTablesFigure1(t *testing.T) {
 }
 
 func TestTablesTable1(t *testing.T) {
-	var out bytes.Buffer
-	if err := Tables([]string{"-table", "1", "-patterns", "30"}, &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := Tables([]string{"-table", "1", "-patterns", "30"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "numbers of input") {
@@ -130,18 +255,32 @@ func TestTablesTable1(t *testing.T) {
 }
 
 func TestTablesSubsetSummary(t *testing.T) {
-	var out bytes.Buffer
-	if err := Tables([]string{"-table", "summary", "-circuits", "cm42a,alu2"}, &out); err != nil {
+	statsPath := filepath.Join(t.TempDir(), "stats.json")
+	var out, errOut bytes.Buffer
+	if err := Tables([]string{"-table", "summary", "-circuits", "cm42a,alu2", "-stats", statsPath}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "pd-map vs ad-map: power") {
 		t.Errorf("summary output wrong:\n%s", out.String())
 	}
+	f, err := os.Open(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sn, err := obs.ParseSnapshot(f)
+	if err != nil {
+		t.Fatalf("tables stats snapshot invalid: %v", err)
+	}
+	// 2 circuits x 6 methods: the suite's metrics accumulate in one scope.
+	if sn.Counters["decomp.nodes_planned"] <= 0 {
+		t.Errorf("suite snapshot missing decomposition counters: %v", sn.Counters)
+	}
 }
 
 func TestTablesUnknownCircuit(t *testing.T) {
-	var out bytes.Buffer
-	if err := Tables([]string{"-table", "2", "-circuits", "nope"}, &out); err == nil {
+	var out, errOut bytes.Buffer
+	if err := Tables([]string{"-table", "2", "-circuits", "nope"}, &out, &errOut); err == nil {
 		t.Error("unknown circuit accepted")
 	}
 }

@@ -20,9 +20,11 @@ import (
 )
 
 // Pmap runs the pmap command: the full synthesis flow plus reporting.
-func Pmap(args []string, out io.Writer) error {
+// Reports and requested artifacts go to out; flag usage, parse errors and
+// -v phase logs go to errOut so piped/-stats output stays machine-readable.
+func Pmap(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("pmap", flag.ContinueOnError)
-	fs.SetOutput(out)
+	fs.SetOutput(errOut)
 	var (
 		blifPath = fs.String("blif", "", "input BLIF netlist")
 		circuit  = fs.String("circuit", "", "built-in benchmark name (see -list)")
@@ -43,6 +45,10 @@ func Pmap(args []string, out io.Writer) error {
 		method2  = fs.Bool("method2", false, "use Section 3.1 Method 2 power accounting (ablation)")
 		recovery = fs.Bool("recover", false, "run drive-strength power recovery after mapping")
 		topPower = fs.Int("top", 0, "print the N most power-hungry signals")
+		verbose  = fs.Bool("v", false, "log phase spans to stderr as they complete")
+		stats    = fs.String("stats", "", "write a JSON metrics/trace snapshot to this file (\"-\" for stdout)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +79,16 @@ func Pmap(args []string, out io.Writer) error {
 	for _, name := range src.PINames() {
 		probs[name] = *piProb
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(errOut, "pmap: profile: %v\n", perr)
+		}
+	}()
+	sc := newScope(*verbose, *stats, errOut)
 	res, err := core.Synthesize(src, core.Options{
 		Method:       m,
 		Style:        st,
@@ -83,12 +99,16 @@ func Pmap(args []string, out io.Writer) error {
 		TreeMode:     *tree,
 		PowerMethod2: *method2,
 		Library:      lib,
+		Obs:          sc,
 	})
 	if err != nil {
 		return err
 	}
 	if *verify {
-		if err := core.VerifyAgainstSource(src, res); err != nil {
+		span := sc.Start("verify-source")
+		err := core.VerifyAgainstSource(src, res)
+		span.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -156,7 +176,7 @@ func Pmap(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  %-8s x%d\n", cc.Name, cc.Count)
 		}
 	}
-	return nil
+	return writeStats(sc, *stats, out)
 }
 
 func writeFile(path string, write func(io.Writer) error) error {

@@ -18,9 +18,9 @@ import (
 // Powerest runs the powerest command: exact zero-delay probability and
 // activity estimation of a BLIF network, with optional Monte-Carlo
 // cross-checking.
-func Powerest(args []string, out io.Writer) error {
+func Powerest(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("powerest", flag.ContinueOnError)
-	fs.SetOutput(out)
+	fs.SetOutput(errOut)
 	var (
 		blifPath = fs.String("blif", "", "input BLIF netlist")
 		style    = fs.String("style", "static", "design style: static, domino-p, domino-n")
@@ -28,10 +28,21 @@ func Powerest(args []string, out io.Writer) error {
 		perNode  = fs.Bool("nodes", false, "print per-node probabilities and activities")
 		top      = fs.Int("top", 10, "print the N most active nodes")
 		mc       = fs.Int("mc", 0, "cross-check against N Monte-Carlo vectors")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(errOut, "powerest: profile: %v\n", perr)
+		}
+	}()
 	if *blifPath == "" {
 		return fmt.Errorf("powerest: need -blif FILE")
 	}

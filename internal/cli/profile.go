@@ -1,0 +1,86 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"powermap/internal/obs"
+)
+
+// startProfiles starts a CPU profile and/or arranges a heap profile per
+// the -cpuprofile/-memprofile flags. The returned stop function must be
+// called exactly once (it finalizes both profiles); it is non-nil even
+// when both paths are empty.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // publish up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
+
+// newScope builds the command's observability scope from the -v/-stats
+// flags: nil when both are off (the zero-cost path), logging phase spans
+// to errOut when verbose.
+func newScope(verbose bool, statsPath string, errOut io.Writer) *obs.Scope {
+	if !verbose && statsPath == "" {
+		return nil
+	}
+	cfg := obs.Config{}
+	if verbose {
+		cfg.Logger = slog.New(slog.NewTextHandler(errOut, nil))
+	}
+	return obs.New(cfg)
+}
+
+// writeStats exports the scope's snapshot as JSON to path ("-" means the
+// command's primary output writer).
+func writeStats(sc *obs.Scope, path string, out io.Writer) error {
+	if sc == nil || path == "" {
+		return nil
+	}
+	sn := sc.Snapshot()
+	if path == "-" {
+		return sn.WriteJSON(out)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sn.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -15,9 +15,9 @@ import (
 
 // Tables runs the tables command: regeneration of the paper's Tables 1-3,
 // Figure 1, the Section 4 summary, and the correlated-input extension.
-func Tables(args []string, out io.Writer) error {
+func Tables(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
-	fs.SetOutput(out)
+	fs.SetOutput(errOut)
 	var (
 		table    = fs.String("table", "all", "1, 2, 3, summary, figure1, correlated, or all")
 		patterns = fs.Int("patterns", 500, "random patterns per input count for Table 1")
@@ -25,10 +25,24 @@ func Tables(args []string, out io.Writer) error {
 		subset   = fs.String("circuits", "", "comma-separated benchmark subset for Tables 2/3")
 		relax    = fs.Float64("relax", 0.15, "timing slack fraction of the reference run")
 		exact    = fs.Bool("exact", false, "use BDD-exact decomposition costs")
+		verbose  = fs.Bool("v", false, "log phase spans to stderr as they complete")
+		stats    = fs.String("stats", "", "write a JSON metrics/trace snapshot to this file (\"-\" for stdout)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(errOut, "tables: profile: %v\n", perr)
+		}
+	}()
+	sc := newScope(*verbose, *stats, errOut)
 	var names []string
 	if *subset != "" {
 		names = strings.Split(*subset, ",")
@@ -63,9 +77,9 @@ func Tables(args []string, out io.Writer) error {
 
 	needSuite := runAll || want == "2" || want == "3" || want == "summary"
 	if !needSuite {
-		return nil
+		return writeStats(sc, *stats, out)
 	}
-	base := core.Options{Style: huffman.Static, Relax: *relax, Exact: *exact}
+	base := core.Options{Style: huffman.Static, Relax: *relax, Exact: *exact, Obs: sc}
 	rows, err := eval.RunSuite(core.Methods(), base, names)
 	if err != nil {
 		return err
@@ -83,7 +97,7 @@ func Tables(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "=== Section 4 summary (measured vs paper) ===")
 		fmt.Fprintln(out, eval.FormatSummary(eval.Summarize(rows)))
 	}
-	return nil
+	return writeStats(sc, *stats, out)
 }
 
 // figure1 reproduces the worked decomposition example.

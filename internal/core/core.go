@@ -20,6 +20,7 @@ import (
 	"powermap/internal/huffman"
 	"powermap/internal/mapper"
 	"powermap/internal/network"
+	"powermap/internal/obs"
 	"powermap/internal/opt"
 	"powermap/internal/power"
 	"powermap/internal/prob"
@@ -126,6 +127,10 @@ type Options struct {
 	PORequired map[string]float64
 	// Env overrides the electrical operating point.
 	Env power.Environment
+	// Obs is the observability scope threaded through every pipeline
+	// stage (decomp, mapper, bdd, timing). Nil — the default — disables
+	// all instrumentation at near-zero cost.
+	Obs *obs.Scope
 }
 
 // Result is the outcome of a full synthesis run.
@@ -156,36 +161,44 @@ func Synthesize(nw *network.Network, o Options) (*Result, error) {
 		o.Relax = 0.15
 	}
 	res := &Result{}
+	sc := o.Obs
 
 	work := nw.Duplicate()
 	if !o.SkipOptimize {
 		// MaxNodeLiterals keeps optimized nodes small, matching the
 		// "relatively simple nodes" the paper attributes to its
 		// fast_extract/quick-decomposition front end (Section 4).
+		span := sc.Start("quick-opt")
 		st, err := opt.Optimize(work, opt.Options{
 			EliminateThreshold: o.EliminateThreshold,
 			MaxNodeLiterals:    6,
 			StrongSimplify:     o.StrongSimplify,
 		})
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: optimize: %w", err)
 		}
 		res.OptStats = st
+		sc.Counter("core.opt_literals_removed").Add(int64(st.LiteralsBefore - st.LiteralsAfter))
 	}
 	res.Optimized = work
 
+	span := sc.Start("decompose")
 	d, err := decomp.Decompose(work, decomp.Options{
 		Strategy: o.Decomposition,
 		Style:    o.Style,
 		Exact:    o.Exact,
 		PIProb:   o.PIProb,
 		Strash:   o.Strash,
+		Obs:      sc,
 	})
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: decompose: %w", err)
 	}
 	res.Decomp = d
 
+	span = sc.Start("map")
 	nl, err := mapper.Map(d.Network, d.Model, mapper.Options{
 		Objective:    o.Mapping,
 		Library:      o.Library,
@@ -196,15 +209,24 @@ func Synthesize(nw *network.Network, o Options) (*Result, error) {
 		PORequired:   o.PORequired,
 		Relax:        o.Relax,
 		PowerMethod2: o.PowerMethod2,
+		Obs:          sc,
 	})
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: map: %w", err)
 	}
-	if err := nl.Verify(d.Model); err != nil {
+	span = sc.Start("verify-netlist")
+	err = nl.Verify(d.Model)
+	span.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: mapped netlist failed verification: %w", err)
 	}
 	res.Netlist = nl
 	res.Report = nl.Report
+	sc.Gauge("core.gates").Set(float64(nl.Report.Gates))
+	sc.Gauge("core.area").Set(nl.Report.GateArea)
+	sc.Gauge("core.delay_ns").Set(nl.Report.Delay)
+	sc.Gauge("core.power_uw").Set(nl.Report.PowerUW)
 	return res, nil
 }
 

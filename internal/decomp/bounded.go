@@ -30,8 +30,12 @@ func boundedPass(cp *network.Network, model *prob.Model, plans []*plan, opt Opti
 	if maxIters == 0 {
 		maxIters = 2 * len(plans)
 	}
+	iterations := opt.Obs.Counter("decomp.slack_iterations")
+	rebuilt := opt.Obs.Counter("decomp.redecompositions")
+	stuck := opt.Obs.Counter("decomp.redecomp_stuck")
 	redecomps := 0
 	for iter := 0; iter < maxIters; iter++ {
+		iterations.Inc()
 		arrival, required := virtualTiming(cp, planOf, opt)
 		// Select the most negative slack plan that can still be tightened.
 		var worst *plan
@@ -63,9 +67,11 @@ func boundedPass(cp *network.Network, model *prob.Model, plans []*plan, opt Opti
 		}
 		if !ok || worst.structureHeight() >= h {
 			worst.stuck = true
+			stuck.Inc()
 			continue
 		}
 		redecomps++
+		rebuilt.Inc()
 	}
 	_ = model
 	return redecomps, nil

@@ -6,8 +6,32 @@ import (
 
 	"powermap/internal/bdd"
 	"powermap/internal/huffman"
+	"powermap/internal/obs"
 	"powermap/internal/prob"
 )
+
+// countedAlgebra wraps an Algebra so every Merge evaluation — including
+// the O(n²) candidate pricing of the Modified Huffman constructions — is
+// counted. Only installed when observability is enabled, so the disabled
+// flow keeps the unwrapped algebra.
+type countedAlgebra[S any] struct {
+	alg    huffman.Algebra[S]
+	merges *obs.Counter
+}
+
+func (c countedAlgebra[S]) Merge(a, b S) S {
+	c.merges.Inc()
+	return c.alg.Merge(a, b)
+}
+
+func (c countedAlgebra[S]) Cost(s S) float64 { return c.alg.Cost(s) }
+
+func counted[S any](sc *obs.Scope, alg huffman.Algebra[S]) huffman.Algebra[S] {
+	if sc == nil {
+		return alg
+	}
+	return countedAlgebra[S]{alg: alg, merges: sc.Counter("decomp.merge_evals")}
+}
 
 // builderSet bundles the AND and OR algebras over a state type S together
 // with the strategy-dependent construction policy. It fills a plan's tree
@@ -18,17 +42,26 @@ type builderSet[S any] struct {
 	leafState   func(lit literal) S
 	strategy    Strategy
 	quasiLinear bool // plain Huffman is optimal; otherwise Modified Huffman
+	obs         *obs.Scope
 }
 
 func (b *builderSet[S]) build(alg huffman.Algebra[S], leaves []S) *huffman.Tree[S] {
+	var t *huffman.Tree[S]
 	switch {
 	case b.strategy == Conventional:
-		return huffman.BuildBalanced(alg, leaves)
+		t = huffman.BuildBalanced(alg, leaves)
+		b.obs.Counter("decomp.balanced_trees").Inc()
 	case b.quasiLinear:
-		return huffman.Build(alg, leaves)
+		t = huffman.Build(alg, leaves)
+		b.obs.Counter("decomp.huffman_trees").Inc()
 	default:
-		return huffman.BuildModified(alg, leaves)
+		t = huffman.BuildModified(alg, leaves)
+		b.obs.Counter("decomp.modified_huffman_trees").Inc()
 	}
+	// A binary tree over n leaves realizes exactly n-1 merges.
+	b.obs.Counter("decomp.tree_merges").Add(int64(len(leaves) - 1))
+	b.obs.Histogram("decomp.tree_leaves").Observe(float64(len(leaves)))
+	return t
 }
 
 // plan fills p.andShapes and p.orShape and installs p.rebuild.
@@ -56,11 +89,35 @@ func (b *builderSet[S]) plan(p *plan) error {
 	return nil
 }
 
+// telemetry returns a fresh huffman.Telemetry when observability is
+// enabled, nil otherwise.
+func (b *builderSet[S]) telemetry() *huffman.Telemetry {
+	if b.obs == nil {
+		return nil
+	}
+	return &huffman.Telemetry{}
+}
+
+// flushTelemetry folds one construction's telemetry into the registry.
+func (b *builderSet[S]) flushTelemetry(tel *huffman.Telemetry) {
+	if tel == nil {
+		return
+	}
+	b.obs.Counter("huffman.package_merge_levels").Add(int64(tel.PackageMergeLevels))
+	b.obs.Counter("huffman.package_merge_items").Add(tel.PackageMergeItems)
+	b.obs.Counter("huffman.bounded_candidates").Add(int64(tel.Candidates))
+	if tel.MaxListLen > 0 {
+		b.obs.Histogram("huffman.package_merge_list_len").Observe(float64(tel.MaxListLen))
+	}
+}
+
 // rebuildBounded re-decomposes the node so that its AND-OR structure height
 // is at most limit, using the bounded-height constructions of Section 2.2.
 // It reports false when the bound is infeasible.
 func (b *builderSet[S]) rebuildBounded(p *plan, limit int) (bool, error) {
 	modified := !b.quasiLinear
+	tel := b.telemetry()
+	defer b.flushTelemetry(tel)
 	leafStatesOf := func(cube []literal) []S {
 		states := make([]S, len(cube))
 		for j, lit := range cube {
@@ -76,7 +133,7 @@ func (b *builderSet[S]) rebuildBounded(p *plan, limit int) (bool, error) {
 		if limit < ceilLog2(len(cube)) {
 			return false, nil
 		}
-		t, err := huffman.BuildBounded(b.and, leafStatesOf(cube), limit, modified)
+		t, err := huffman.BuildBoundedObserved(b.and, leafStatesOf(cube), limit, modified, tel)
 		if err != nil {
 			return false, nil
 		}
@@ -110,7 +167,7 @@ func (b *builderSet[S]) rebuildBounded(p *plan, limit int) (bool, error) {
 				termStates[i] = states[0]
 				continue
 			}
-			t, err := huffman.BuildBounded(b.and, states, andBudget, modified)
+			t, err := huffman.BuildBoundedObserved(b.and, states, andBudget, modified, tel)
 			if err != nil {
 				ok = false
 				break
@@ -122,7 +179,7 @@ func (b *builderSet[S]) rebuildBounded(p *plan, limit int) (bool, error) {
 		if !ok {
 			continue
 		}
-		orTree, err := huffman.BuildBounded(b.or, termStates, orH, modified)
+		orTree, err := huffman.BuildBoundedObserved(b.or, termStates, orH, modified, tel)
 		if err != nil {
 			continue
 		}
@@ -145,8 +202,8 @@ func (b *builderSet[S]) rebuildBounded(p *plan, limit int) (bool, error) {
 // formulas of Section 2.1 (Equations 5, 6, 10, 11).
 func newSignalBuilder(opt Options) *builderSet[huffman.Signal] {
 	return &builderSet[huffman.Signal]{
-		and: huffman.SignalAlgebra{Gate: huffman.GateAnd, Style: opt.Style},
-		or:  huffman.SignalAlgebra{Gate: huffman.GateOr, Style: opt.Style},
+		and: counted[huffman.Signal](opt.Obs, huffman.SignalAlgebra{Gate: huffman.GateAnd, Style: opt.Style}),
+		or:  counted[huffman.Signal](opt.Obs, huffman.SignalAlgebra{Gate: huffman.GateOr, Style: opt.Style}),
 		leafState: func(lit literal) huffman.Signal {
 			p := lit.node.Prob1
 			if lit.neg {
@@ -156,6 +213,7 @@ func newSignalBuilder(opt Options) *builderSet[huffman.Signal] {
 		},
 		strategy:    opt.Strategy,
 		quasiLinear: huffman.SignalAlgebra{Style: opt.Style}.QuasiLinear(),
+		obs:         opt.Obs,
 	}
 }
 
@@ -165,14 +223,14 @@ func newSignalBuilder(opt Options) *builderSet[huffman.Signal] {
 func newExactBuilder(model *prob.Model, opt Options) *builderSet[bdd.Ref] {
 	mgr := model.Manager()
 	return &builderSet[bdd.Ref]{
-		and: huffman.OracleAlgebra[bdd.Ref]{
+		and: counted[bdd.Ref](opt.Obs, huffman.OracleAlgebra[bdd.Ref]{
 			MergeFn: mgr.And,
 			CostFn:  model.ActivityOfRef,
-		},
-		or: huffman.OracleAlgebra[bdd.Ref]{
+		}),
+		or: counted[bdd.Ref](opt.Obs, huffman.OracleAlgebra[bdd.Ref]{
 			MergeFn: mgr.Or,
 			CostFn:  model.ActivityOfRef,
-		},
+		}),
 		leafState: func(lit literal) bdd.Ref {
 			r, ok := model.Global(lit.node)
 			if !ok {
@@ -185,5 +243,6 @@ func newExactBuilder(model *prob.Model, opt Options) *builderSet[bdd.Ref] {
 		},
 		strategy:    opt.Strategy,
 		quasiLinear: false,
+		obs:         opt.Obs,
 	}
 }

@@ -26,11 +26,14 @@ package decomp
 import (
 	"fmt"
 
+	"powermap/internal/bdd"
 	"powermap/internal/huffman"
 	"powermap/internal/network"
+	"powermap/internal/obs"
 	netopt "powermap/internal/opt"
 	"powermap/internal/prob"
 	"powermap/internal/sop"
+	"powermap/internal/timing"
 )
 
 // Strategy selects the decomposition algorithm.
@@ -85,6 +88,24 @@ type Options struct {
 	// strategies, since the sharing recovers much of what conventional
 	// decomposition loses.
 	Strash bool
+	// Obs receives phase spans and decomposition metrics (tree/merge
+	// counts, slack-loop iterations, BDD manager statistics). Nil
+	// disables instrumentation.
+	Obs *obs.Scope
+}
+
+// flushBDDStats folds one BDD manager's work counters into the metrics
+// registry. Call it exactly once per manager, after its last use.
+func flushBDDStats(sc *obs.Scope, m *bdd.Manager) {
+	if sc == nil || m == nil {
+		return
+	}
+	st := m.Stats()
+	sc.Counter("bdd.nodes_allocated").Add(st.Allocs)
+	sc.Counter("bdd.unique_hits").Add(st.UniqueHits)
+	sc.Counter("bdd.cache_hits").Add(st.CacheHits)
+	sc.Counter("bdd.cache_misses").Add(st.CacheMisses)
+	sc.Gauge("bdd.nodes_live_max").SetMax(float64(m.NumNodes()))
 }
 
 // Result is the outcome of a decomposition.
@@ -207,17 +228,21 @@ func (p *plan) leafArrivalDepths() map[*network.Node]int {
 // NAND2/INV trees per the configured strategy. The input network is not
 // modified.
 func Decompose(nw *network.Network, opt Options) (*Result, error) {
+	sc := opt.Obs
 	cp := nw.Duplicate()
 	cp.Sweep()
 	if err := cp.Check(); err != nil {
 		return nil, fmt.Errorf("decomp: input network: %w", err)
 	}
+	span := sc.Start("decomp.probabilities")
 	model, err := prob.Compute(cp, opt.PIProb, opt.Style)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("decomp: %w", err)
 	}
 
 	// Phase 1: plan a tree for every internal node (postorder).
+	span = sc.Start("decomp.plan-trees")
 	var plans []*plan
 	for _, n := range cp.TopoOrder() {
 		if n.Kind != network.Internal {
@@ -225,14 +250,18 @@ func Decompose(nw *network.Network, opt Options) (*Result, error) {
 		}
 		n.Func.Minimize()
 		if n.Func.IsZero() || n.Func.IsOne() {
+			span.End()
 			return nil, fmt.Errorf("decomp: node %s is constant; run opt.Sweep/opt.Optimize first", n.Name)
 		}
 		p, err := makePlan(cp, model, n, opt)
 		if err != nil {
+			span.End()
 			return nil, err
 		}
 		plans = append(plans, p)
 	}
+	span.End()
+	sc.Counter("decomp.nodes_planned").Add(int64(len(plans)))
 
 	redecomps := 0
 	if opt.Strategy == BoundedMinPower {
@@ -241,36 +270,47 @@ func Decompose(nw *network.Network, opt Options) (*Result, error) {
 			// (balanced) decomposition would achieve — i.e. bound the
 			// height increase the MINPOWER pass introduced (Section 2.2's
 			// problem statement).
+			span = sc.Start("decomp.slack-targets")
 			req, err := conventionalArrivals(cp, model, opt)
+			span.End()
 			if err != nil {
 				return nil, err
 			}
 			opt.PORequired = req
 		}
+		span = sc.Start("decomp.bounded-redecomp")
 		redecomps, err = boundedPass(cp, model, plans, opt)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
 	}
 
 	// Phase 2: materialize the plans as AND2/OR2/INV nodes.
+	span = sc.Start("decomp.materialize")
 	inv := newInvCache(cp)
 	for _, p := range plans {
 		if err := materialize(cp, inv, p); err != nil {
+			span.End()
 			return nil, err
 		}
 	}
+	span.End()
 	// The decomposition objective (total internal switching activity,
 	// Section 2) is measured on the AND/OR tree level: after the NAND/INV
 	// conversion every AND node contributes a complementary NAND+INV pair
 	// whose domino activities sum to exactly 1, which would make the
 	// metric degenerate.
+	span = sc.Start("decomp.activity")
 	totalActivity, err := andOrActivity(cp, opt)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
 	// Phase 3: convert to the NAND2/INV basis and clean up.
+	span = sc.Start("decomp.nand-convert")
 	if err := toNandInv(cp, inv); err != nil {
+		span.End()
 		return nil, err
 	}
 	sweepBuffersAndInvPairs(cp)
@@ -281,30 +321,31 @@ func Decompose(nw *network.Network, opt Options) (*Result, error) {
 		sweepBuffersAndInvPairs(cp)
 	}
 	cp.Sweep()
+	span.End()
 	if err := cp.Check(); err != nil {
 		return nil, fmt.Errorf("decomp: produced invalid network: %w", err)
 	}
 
+	span = sc.Start("decomp.final-probabilities")
 	final, err := prob.Compute(cp, opt.PIProb, opt.Style)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("decomp: final probabilities: %w", err)
 	}
 	res := &Result{Network: cp, Model: final, Redecompositions: redecomps, TotalActivity: totalActivity}
-	depth := 0
-	level := make(map[*network.Node]int)
-	for _, n := range cp.TopoOrder() {
-		l := 0
-		for _, f := range n.Fanin {
-			if level[f]+1 > l {
-				l = level[f] + 1
-			}
-		}
-		level[n] = l
-		if l > depth {
-			depth = l
-		}
-	}
-	res.Depth = float64(depth)
+	// Unit-delay depth (and, via obs, worst slack) of the subject graph.
+	// PORequired is deliberately not forwarded: the bounded strategy's
+	// required times live in the planned AND-OR unit-delay domain, not the
+	// NAND/INV one, so the subject graph gets the zero-slack normalization.
+	res.Depth = timing.AnnotateUnit(cp, timing.UnitOptions{
+		PIArrival: opt.PIArrival,
+		Obs:       sc,
+	})
+	sc.Gauge("decomp.total_activity").Set(totalActivity)
+	sc.Gauge("decomp.subject_nodes").Set(float64(cp.Stats().Nodes))
+	sc.Gauge("decomp.depth").Set(res.Depth)
+	flushBDDStats(sc, model.Manager())
+	flushBDDStats(sc, final.Manager())
 	return res, nil
 }
 
@@ -315,7 +356,7 @@ func andOrActivity(cp *network.Network, opt Options) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("decomp: AND/OR activities: %w", err)
 	}
-	_ = m
+	flushBDDStats(opt.Obs, m.Manager())
 	total := 0.0
 	for _, n := range cp.TopoOrder() {
 		if n.Kind == network.Internal {

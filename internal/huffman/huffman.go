@@ -214,6 +214,32 @@ func Enumerate[S any](alg Algebra[S], leaves []S, maxHeight int) (*Tree[S], floa
 	return best, bestCost
 }
 
+// Telemetry collects construction counters from one BuildBoundedObserved
+// call. It is a plain value so this package stays free of observability
+// dependencies; callers fold it into their metrics registry.
+type Telemetry struct {
+	// PackageMergeLevels is the number of level lists the package-merge
+	// construction generated.
+	PackageMergeLevels int
+	// PackageMergeItems is the total item count across all level lists.
+	PackageMergeItems int64
+	// MaxListLen is the longest level list encountered.
+	MaxListLen int
+	// Candidates is the number of feasible candidate trees compared.
+	Candidates int
+}
+
+func (t *Telemetry) observeList(n int) {
+	if t == nil {
+		return
+	}
+	t.PackageMergeLevels++
+	t.PackageMergeItems += int64(n)
+	if n > t.MaxListLen {
+		t.MaxListLen = n
+	}
+}
+
 // BuildBounded implements Algorithm 2.3: the Larmore–Hirschberg
 // package-merge construction of a minimum-cost tree of height at most limit.
 // With modified=false the PACKAGE step pairs consecutive items in cost
@@ -225,6 +251,12 @@ func Enumerate[S any](alg Algebra[S], leaves []S, maxHeight int) (*Tree[S], floa
 // It returns an error when limit < ceil(log2(n)), for which no binary tree
 // exists.
 func BuildBounded[S any](alg Algebra[S], leaves []S, limit int, modified bool) (*Tree[S], error) {
+	return BuildBoundedObserved(alg, leaves, limit, modified, nil)
+}
+
+// BuildBoundedObserved is BuildBounded with construction telemetry
+// recorded into tel (which may be nil).
+func BuildBoundedObserved[S any](alg Algebra[S], leaves []S, limit int, modified bool, tel *Telemetry) (*Tree[S], error) {
 	n := len(leaves)
 	if n == 0 {
 		return nil, fmt.Errorf("huffman: no leaves")
@@ -259,7 +291,7 @@ func BuildBounded[S any](alg Algebra[S], leaves []S, limit int, modified bool) (
 		}
 	}
 	candidates = append(candidates, buildBoundedGreedy(alg, leaves, limit))
-	if depths, ok := packageMerge(alg, leaves, limit, modified); ok {
+	if depths, ok := packageMerge(alg, leaves, limit, modified, tel); ok {
 		if t, err := treeFromDepths(alg, leaves, depths); err == nil {
 			candidates = append(candidates, t)
 		}
@@ -281,6 +313,9 @@ func BuildBounded[S any](alg Algebra[S], leaves []S, limit int, modified bool) (
 	for _, t := range candidates {
 		if t == nil || t.Height() > limit {
 			continue
+		}
+		if tel != nil {
+			tel.Candidates++
 		}
 		if c := TotalCost(alg, t); c < bestCost {
 			best, bestCost = t, c
@@ -447,7 +482,8 @@ type pmItem[S any] struct {
 // packageMerge runs the (generalized) package-merge construction and
 // returns the per-leaf depths, with ok=false when the selected node set is
 // not a valid tree profile (possible for non-additive cost algebras).
-func packageMerge[S any](alg Algebra[S], leaves []S, limit int, modified bool) ([]int, bool) {
+// Level-list sizes are recorded into tel when non-nil.
+func packageMerge[S any](alg Algebra[S], leaves []S, limit int, modified bool, tel *Telemetry) ([]int, bool) {
 	n := len(leaves)
 	mkLeafItems := func() []pmItem[S] {
 		items := make([]pmItem[S], n)
@@ -460,11 +496,13 @@ func packageMerge[S any](alg Algebra[S], leaves []S, limit int, modified bool) (
 		return items
 	}
 	cur := mkLeafItems()
+	tel.observeList(len(cur))
 	for d := limit; d >= 2; d-- {
 		packages := packLevel(alg, cur, modified)
 		next := append(mkLeafItems(), packages...)
 		sort.SliceStable(next, func(a, b int) bool { return next[a].cost < next[b].cost })
 		cur = next
+		tel.observeList(len(cur))
 	}
 	// Select the first 2n-2 items of the level-1 list.
 	if len(cur) < 2*n-2 {

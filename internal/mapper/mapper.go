@@ -7,6 +7,7 @@ import (
 
 	"powermap/internal/genlib"
 	"powermap/internal/network"
+	"powermap/internal/obs"
 	"powermap/internal/power"
 	"powermap/internal/prob"
 )
@@ -71,11 +72,44 @@ type Options struct {
 	// load, suffering the unknown-load problem). Provided for the
 	// Method 1 vs Method 2 ablation.
 	PowerMethod2 bool
+	// Obs receives phase spans and mapping metrics (curve points
+	// generated/pruned, selection passes, node visits). Nil disables
+	// instrumentation.
+	Obs *obs.Scope
 }
 
 type selection struct {
 	point    Point
 	required float64
+}
+
+// stateObs caches the mapper's metric handles so hot loops never touch
+// the registry map. With observability disabled every handle is nil and
+// each call collapses to a nil check.
+type stateObs struct {
+	pointsGenerated *obs.Counter
+	pointsKept      *obs.Counter
+	pointsPruned    *obs.Counter
+	curveSize       *obs.Histogram
+	matchesPerNode  *obs.Histogram
+	nodesCovered    *obs.Counter
+	selectPasses    *obs.Counter
+	nodeVisits      *obs.Counter
+	loadRecalcs     *obs.Counter
+}
+
+func newStateObs(sc *obs.Scope) stateObs {
+	return stateObs{
+		pointsGenerated: sc.Counter("mapper.curve_points_generated"),
+		pointsKept:      sc.Counter("mapper.curve_points_kept"),
+		pointsPruned:    sc.Counter("mapper.curve_points_pruned"),
+		curveSize:       sc.Histogram("mapper.curve_points_per_node"),
+		matchesPerNode:  sc.Histogram("mapper.matches_per_node"),
+		nodesCovered:    sc.Counter("mapper.nodes_covered"),
+		selectPasses:    sc.Counter("mapper.select_passes"),
+		nodeVisits:      sc.Counter("mapper.node_visits"),
+		loadRecalcs:     sc.Counter("mapper.load_recalcs"),
+	}
 }
 
 type state struct {
@@ -91,6 +125,7 @@ type state struct {
 	visits  map[*network.Node]int
 	poLoad  float64
 	cdef    float64
+	obs     stateObs
 }
 
 // Map covers the NAND2/INV subject network with library gates. The model
@@ -126,17 +161,26 @@ func Map(sub *network.Network, model *prob.Model, opt Options) (*Netlist, error)
 		loads:   make(map[*network.Node]float64),
 		visits:  make(map[*network.Node]int),
 		cdef:    opt.Library.DefaultLoad(),
+		obs:     newStateObs(opt.Obs),
 	}
 	s.poLoad = opt.OutputLoad
 	if s.poLoad == 0 {
 		s.poLoad = 2 * s.cdef
 	}
-	if err := s.postorder(); err != nil {
+	span := opt.Obs.Start("mapper.curves")
+	err := s.postorder()
+	span.End()
+	if err != nil {
 		return nil, err
 	}
-	if err := s.preorder(); err != nil {
+	span = opt.Obs.Start("mapper.select")
+	err = s.preorder()
+	span.End()
+	if err != nil {
 		return nil, err
 	}
+	span = opt.Obs.Start("mapper.extract")
+	defer span.End()
 	return s.extract()
 }
 
@@ -156,14 +200,21 @@ func (s *state) postorder() error {
 		if len(matches) == 0 {
 			return fmt.Errorf("mapper: no library match at node %s", n.Name)
 		}
+		s.obs.matchesPerNode.Observe(float64(len(matches)))
 		curve := &Curve{}
 		for _, m := range matches {
 			s.addMatchPoints(curve, n, m)
 		}
+		generated := len(curve.Points)
 		curve.prune(s.opt.Epsilon)
 		if len(curve.Points) == 0 {
 			return fmt.Errorf("mapper: empty curve at node %s", n.Name)
 		}
+		s.obs.nodesCovered.Inc()
+		s.obs.pointsGenerated.Add(int64(generated))
+		s.obs.pointsKept.Add(int64(len(curve.Points)))
+		s.obs.pointsPruned.Add(int64(generated - len(curve.Points)))
+		s.obs.curveSize.Observe(float64(len(curve.Points)))
 		s.curves[n] = curve
 	}
 	return nil
@@ -311,6 +362,7 @@ func (s *state) preorder() error {
 	}
 	const passes = 3
 	for pass := 0; pass < passes; pass++ {
+		s.obs.selectPasses.Inc()
 		s.chosen = make(map[*network.Node]*selection)
 		s.visits = make(map[*network.Node]int)
 		for _, o := range s.sub.Outputs {
@@ -322,6 +374,7 @@ func (s *state) preorder() error {
 			}
 		}
 		newLoads := s.freshLoads(s.chosen)
+		s.obs.loadRecalcs.Inc()
 		if pass == passes-1 || loadsConverged(s.loads, newLoads) {
 			break
 		}
@@ -428,6 +481,7 @@ func (s *state) selectAt(n *network.Node, required float64) error {
 		}
 	}
 	s.visits[n]++
+	s.obs.nodeVisits.Inc()
 	c := s.curves[n]
 	bestIdx := -1
 	bestCost := math.Inf(1)

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named counters, gauges, and histograms. All
+// methods are safe for concurrent use and safe on a nil receiver (they
+// return nil handles, whose methods are in turn no-ops).
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counters == nil {
+		m.counters = make(map[string]*Counter)
+	}
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil on a nil registry.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]*Gauge)
+	}
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.histograms == nil {
+		m.histograms = make(map[string]*Histogram)
+	}
+	h, ok := m.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing (or freely adjusted) integer.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add adds delta; no-op on a nil counter.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Inc adds one; no-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v; no-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// SetMax stores v only if it exceeds the current value; no-op on nil.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// maxHistogramSamples caps per-histogram memory; beyond it observations
+// are reservoir-sampled so quantiles stay representative.
+const maxHistogramSamples = 4096
+
+// Histogram tracks a value distribution: exact count/sum/min/max plus a
+// bounded reservoir of samples for quantile estimation.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64
+	rng     uint64 // xorshift state for deterministic reservoir sampling
+}
+
+// Observe records one value; no-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.samples) < maxHistogramSamples {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Reservoir replacement with a deterministic xorshift64* stream, so
+	// repeated runs snapshot identically.
+	if h.rng == 0 {
+		h.rng = 0x9e3779b97f4a7c15
+	}
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if j := h.rng % uint64(h.count); j < maxHistogramSamples {
+		h.samples[j] = v
+	}
+}
+
+// Stats summarizes a histogram for export.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Stats returns the current summary (zero value on a nil histogram).
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HistogramStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	st.P50 = quantile(h.samples, 0.50)
+	st.P90 = quantile(h.samples, 0.90)
+	st.P99 = quantile(h.samples, 0.99)
+	return st
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the sample
+// reservoir, with linear interpolation. Returns 0 on a nil or empty
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantile(h.samples, q)
+}
+
+func quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,64 @@
+// Package obs is the pipeline-wide observability layer: structured phase
+// spans (tracing), a registry of named counters/gauges/histograms
+// (metrics), and a snapshot/export API producing a human-readable table or
+// JSON. It depends only on the standard library.
+//
+// A single *Scope is threaded through the flow (core → decomp, mapper,
+// bdd, timing). Every entry point is safe on a nil receiver, so packages
+// instrument unconditionally and a disabled flow pays only a nil check:
+//
+//	sc := opt.Obs                    // may be nil
+//	span := sc.Start("decompose")    // no-op span when sc == nil
+//	merges := sc.Counter("decomp.merge_evals")
+//	...
+//	merges.Add(1)                    // no-op on a nil *Counter
+//	span.End()
+//
+// Hot loops should hoist Counter/Gauge/Histogram lookups out of the loop:
+// the returned handles are either live (and concurrency-safe) or nil (and
+// free), so the loop body never touches the registry map.
+package obs
+
+import "log/slog"
+
+// Config configures a Scope.
+type Config struct {
+	// Logger receives one record per completed span (phase name, parent,
+	// duration). Nil disables span logging; spans are still recorded for
+	// the snapshot.
+	Logger *slog.Logger
+}
+
+// Scope bundles a tracer and a metrics registry for one flow run. The zero
+// value is not useful; use New. A nil *Scope disables all instrumentation.
+type Scope struct {
+	tracer  tracer
+	metrics Metrics
+}
+
+// New returns an enabled Scope.
+func New(cfg Config) *Scope {
+	s := &Scope{}
+	s.tracer.logger = cfg.Logger
+	return s
+}
+
+// Enabled reports whether instrumentation is live.
+func (s *Scope) Enabled() bool { return s != nil }
+
+// Metrics returns the scope's metrics registry, or nil on a nil scope.
+func (s *Scope) Metrics() *Metrics {
+	if s == nil {
+		return nil
+	}
+	return &s.metrics
+}
+
+// Counter returns the named counter, or nil on a nil scope.
+func (s *Scope) Counter(name string) *Counter { return s.Metrics().Counter(name) }
+
+// Gauge returns the named gauge, or nil on a nil scope.
+func (s *Scope) Gauge(name string) *Gauge { return s.Metrics().Gauge(name) }
+
+// Histogram returns the named histogram, or nil on a nil scope.
+func (s *Scope) Histogram(name string) *Histogram { return s.Metrics().Histogram(name) }

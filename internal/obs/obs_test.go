@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	sc := New(Config{})
+	const goroutines, perG = 16, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := sc.Counter("shared")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := sc.Counter("shared").Value(); got != goroutines*perG {
+		t.Errorf("concurrent counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	sc := New(Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			h := sc.Histogram("shared")
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(base + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := sc.Histogram("shared").Stats().Count; got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestNilScopeNoOp(t *testing.T) {
+	var sc *Scope // everything below must be a silent no-op
+	if sc.Enabled() {
+		t.Error("nil scope reports enabled")
+	}
+	span := sc.Start("phase")
+	sc.Counter("c").Add(5)
+	sc.Counter("c").Inc()
+	sc.Gauge("g").Set(1.5)
+	sc.Gauge("g").SetMax(2.5)
+	sc.Histogram("h").Observe(3)
+	if d := span.End(); d != 0 {
+		t.Errorf("nil span duration = %v, want 0", d)
+	}
+	if v := sc.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if v := sc.Gauge("g").Value(); v != 0 {
+		t.Errorf("nil gauge value = %v", v)
+	}
+	if st := sc.Histogram("h").Stats(); st.Count != 0 {
+		t.Errorf("nil histogram stats = %+v", st)
+	}
+	if got := sc.Spans(); got != nil {
+		t.Errorf("nil scope spans = %v", got)
+	}
+	sn := sc.Snapshot()
+	if sn == nil || len(sn.Counters) != 0 || len(sn.Spans) != 0 {
+		t.Errorf("nil scope snapshot = %+v", sn)
+	}
+	var buf bytes.Buffer
+	if err := sn.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil-scope snapshot JSON: %v", err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	sc := New(Config{})
+	h := sc.Histogram("lat")
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	st := h.Stats()
+	if st.Count != 100 || st.Min != 1 || st.Max != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.Sum-5050) > 1e-9 {
+		t.Errorf("sum = %v, want 5050", st.Sum)
+	}
+	checks := []struct {
+		q, want, tol float64
+	}{{0, 1, 0}, {0.5, 50.5, 0.51}, {0.9, 90.1, 0.51}, {0.99, 99.01, 0.51}, {1, 100, 0}}
+	for _, c := range checks {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > c.tol {
+			t.Errorf("quantile(%v) = %v, want %v ± %v", c.q, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	sc := New(Config{})
+	h := sc.Histogram("big")
+	for v := 0; v < 10*maxHistogramSamples; v++ {
+		h.Observe(float64(v))
+	}
+	if len(h.samples) != maxHistogramSamples {
+		t.Errorf("reservoir size = %d, want %d", len(h.samples), maxHistogramSamples)
+	}
+	st := h.Stats()
+	if st.Count != int64(10*maxHistogramSamples) {
+		t.Errorf("count = %d", st.Count)
+	}
+	// The p50 of a uniform 0..N stream should land near N/2 even after
+	// reservoir sampling.
+	mid := float64(10*maxHistogramSamples) / 2
+	if math.Abs(st.P50-mid) > mid/4 {
+		t.Errorf("reservoir p50 = %v, want ≈ %v", st.P50, mid)
+	}
+}
+
+func TestSpanNestingAndLogging(t *testing.T) {
+	var logBuf bytes.Buffer
+	sc := New(Config{Logger: slog.New(slog.NewTextHandler(&logBuf, nil))})
+	outer := sc.Start("outer")
+	inner := sc.Start("inner")
+	inner.End()
+	outer.End()
+	spans := sc.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// End order: inner first.
+	if spans[0].Name != "inner" || spans[0].Parent != "outer" {
+		t.Errorf("inner span = %+v", spans[0])
+	}
+	if spans[1].Name != "outer" || spans[1].Parent != "" {
+		t.Errorf("outer span = %+v", spans[1])
+	}
+	if spans[0].DurationNs < 0 || spans[0].StartUnixNano == 0 {
+		t.Errorf("span timing not recorded: %+v", spans[0])
+	}
+	logged := logBuf.String()
+	for _, want := range []string{"phase", "name=inner", "parent=outer", "name=outer"} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("log output missing %q:\n%s", want, logged)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	sc := New(Config{})
+	sp := sc.Start("decompose")
+	sc.Start("plan-trees").End()
+	sp.End()
+	sc.Counter("decomp.merge_evals").Add(42)
+	sc.Gauge("decomp.total_activity").Set(3.25)
+	h := sc.Histogram("mapper.curve_points_per_node")
+	h.Observe(4)
+	h.Observe(8)
+
+	sn := sc.Snapshot()
+	var buf bytes.Buffer
+	if err := sn.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != 2 || back.Spans[0].Name != "plan-trees" || back.Spans[0].Parent != "decompose" {
+		t.Errorf("spans did not round-trip: %+v", back.Spans)
+	}
+	if back.Counters["decomp.merge_evals"] != 42 {
+		t.Errorf("counter did not round-trip: %+v", back.Counters)
+	}
+	if back.Gauges["decomp.total_activity"] != 3.25 {
+		t.Errorf("gauge did not round-trip: %+v", back.Gauges)
+	}
+	hs := back.Histograms["mapper.curve_points_per_node"]
+	if hs.Count != 2 || hs.Sum != 12 || hs.Min != 4 || hs.Max != 8 {
+		t.Errorf("histogram did not round-trip: %+v", hs)
+	}
+
+	var table bytes.Buffer
+	if err := back.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phases:", "decompose", "counters:", "decomp.merge_evals", "gauges:", "histograms:"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, table.String())
+		}
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	sc := New(Config{})
+	g := sc.Gauge("depth")
+	g.SetMax(3)
+	g.SetMax(1)
+	if got := g.Value(); got != 3 {
+		t.Errorf("SetMax kept %v, want 3", got)
+	}
+	g.SetMax(7)
+	if got := g.Value(); got != 7 {
+		t.Errorf("SetMax kept %v, want 7", got)
+	}
+}
+
+func TestMetricsHandleIdentity(t *testing.T) {
+	sc := New(Config{})
+	if sc.Counter("x") != sc.Counter("x") {
+		t.Error("same counter name returned distinct handles")
+	}
+	if sc.Counter("x") == sc.Counter("y") {
+		t.Error("distinct counter names returned the same handle")
+	}
+}

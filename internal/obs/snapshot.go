@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is a self-contained export of a Scope at one instant: all
+// completed spans and the current value of every metric. It marshals to
+// stable JSON (map keys sort on encoding) and round-trips through
+// ParseSnapshot.
+type Snapshot struct {
+	Spans      []SpanRecord              `json:"spans,omitempty"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the scope's current state. On a nil scope it returns
+// an empty (but usable) snapshot.
+func (s *Scope) Snapshot() *Snapshot {
+	sn := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStats{},
+	}
+	if s == nil {
+		return sn
+	}
+	sn.Spans = s.Spans()
+	m := &s.metrics
+	m.mu.Lock()
+	counters := make(map[string]*Counter, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(m.histograms))
+	for k, v := range m.histograms {
+		hists[k] = v
+	}
+	m.mu.Unlock()
+	for k, c := range counters {
+		sn.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		sn.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		sn.Histograms[k] = h.Stats()
+	}
+	return sn
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (sn *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sn)
+}
+
+// ParseSnapshot reads a snapshot previously written by WriteJSON.
+func ParseSnapshot(r io.Reader) (*Snapshot, error) {
+	sn := &Snapshot{}
+	if err := json.NewDecoder(r).Decode(sn); err != nil {
+		return nil, fmt.Errorf("obs: parse snapshot: %w", err)
+	}
+	return sn, nil
+}
+
+// WriteTable writes the snapshot as a human-readable report: spans as an
+// indented phase tree in end order, then metrics sorted by name.
+func (sn *Snapshot) WriteTable(w io.Writer) error {
+	if len(sn.Spans) > 0 {
+		if _, err := fmt.Fprintln(w, "phases:"); err != nil {
+			return err
+		}
+		for _, sp := range sn.Spans {
+			indent := "  "
+			if sp.Parent != "" {
+				indent = "    "
+			}
+			if _, err := fmt.Fprintf(w, "%s%-28s %12v\n", indent, sp.Name, sp.Duration().Round(time.Microsecond)); err != nil {
+				return err
+			}
+		}
+	}
+	if len(sn.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, k := range sortedKeys(sn.Counters) {
+			fmt.Fprintf(w, "  %-36s %12d\n", k, sn.Counters[k])
+		}
+	}
+	if len(sn.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, k := range sortedKeys(sn.Gauges) {
+			fmt.Fprintf(w, "  %-36s %12.4f\n", k, sn.Gauges[k])
+		}
+	}
+	if len(sn.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, k := range sortedKeys(sn.Histograms) {
+			h := sn.Histograms[k]
+			fmt.Fprintf(w, "  %-36s n=%d sum=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+				k, h.Count, h.Sum, h.Min, h.P50, h.P90, h.P99, h.Max)
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

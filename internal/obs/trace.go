@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed phase span as it appears in a snapshot.
+type SpanRecord struct {
+	Name   string `json:"name"`
+	Parent string `json:"parent,omitempty"`
+	// StartUnixNano anchors the span on the wall clock.
+	StartUnixNano int64 `json:"start_unix_nano"`
+	// DurationNs is the measured wall time in nanoseconds.
+	DurationNs int64 `json:"duration_ns"`
+}
+
+// Duration returns the span's wall time.
+func (r SpanRecord) Duration() time.Duration { return time.Duration(r.DurationNs) }
+
+// tracer records phase spans. Parentage follows the start/end nesting
+// order: a span started while another is open becomes its child. The flow
+// itself is single-goroutine, but the tracer is mutex-guarded so stray
+// concurrent spans never corrupt it.
+type tracer struct {
+	mu     sync.Mutex
+	logger *slog.Logger
+	stack  []string
+	spans  []SpanRecord
+}
+
+// Span is one in-flight phase. End it exactly once. A nil *Span (from a
+// nil scope) is a no-op.
+type Span struct {
+	scope  *Scope
+	name   string
+	parent string
+	start  time.Time
+}
+
+// Start opens a phase span. The span nests under the most recently started
+// still-open span. Returns nil on a nil scope.
+func (s *Scope) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := &s.tracer
+	t.mu.Lock()
+	parent := ""
+	if len(t.stack) > 0 {
+		parent = t.stack[len(t.stack)-1]
+	}
+	t.stack = append(t.stack, name)
+	t.mu.Unlock()
+	return &Span{scope: s, name: name, parent: parent, start: time.Now()}
+}
+
+// End closes the span, records it, and logs it when the scope has a
+// logger. It returns the measured wall time (0 on a nil span).
+func (sp *Span) End() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	d := time.Since(sp.start)
+	t := &sp.scope.tracer
+	t.mu.Lock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == sp.name {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+	t.spans = append(t.spans, SpanRecord{
+		Name:          sp.name,
+		Parent:        sp.parent,
+		StartUnixNano: sp.start.UnixNano(),
+		DurationNs:    int64(d),
+	})
+	logger := t.logger
+	t.mu.Unlock()
+	if logger != nil {
+		if sp.parent != "" {
+			logger.Info("phase", "name", sp.name, "parent", sp.parent, "dur", d)
+		} else {
+			logger.Info("phase", "name", sp.name, "dur", d)
+		}
+	}
+	return d
+}
+
+// Spans returns the completed spans in end order (nil on a nil scope).
+func (s *Scope) Spans() []SpanRecord {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return append([]SpanRecord(nil), s.tracer.spans...)
+}

@@ -12,10 +12,14 @@ import (
 	"math"
 
 	"powermap/internal/network"
+	"powermap/internal/obs"
 )
 
 // UnitOptions configures AnnotateUnit.
 type UnitOptions struct {
+	// Obs receives timing metrics (annotate runs, nodes visited, network
+	// depth, worst slack). Nil disables instrumentation.
+	Obs *obs.Scope
 	// PIArrival gives arrival times at primary inputs by name; missing
 	// inputs default to 0.
 	PIArrival map[string]float64
@@ -33,7 +37,11 @@ type UnitOptions struct {
 // every node reachable from the outputs and returns the maximum arrival
 // time over the primary outputs (the network delay).
 func AnnotateUnit(nw *network.Network, opt UnitOptions) float64 {
+	span := opt.Obs.Start("timing.annotate")
+	defer span.End()
 	order := nw.TopoOrder()
+	opt.Obs.Counter("timing.annotate_runs").Inc()
+	opt.Obs.Counter("timing.nodes_annotated").Add(int64(len(order)))
 	for _, n := range order {
 		if n.IsSource() {
 			a := 0.0
@@ -92,10 +100,18 @@ func AnnotateUnit(nw *network.Network, opt UnitOptions) float64 {
 		}
 	}
 	// Sources also need required times for slack reporting.
+	worstSlack := math.Inf(1)
 	for _, n := range order {
 		if math.IsInf(n.Required, 1) {
 			n.Required = maxOut
 		}
+		if s := n.Slack(); s < worstSlack {
+			worstSlack = s
+		}
+	}
+	opt.Obs.Gauge("timing.depth").Set(maxOut)
+	if len(order) > 0 {
+		opt.Obs.Gauge("timing.worst_slack").Set(worstSlack)
 	}
 	return maxOut
 }

@@ -34,6 +34,7 @@ import (
 	"powermap/internal/huffman"
 	"powermap/internal/mapper"
 	"powermap/internal/network"
+	"powermap/internal/obs"
 	"powermap/internal/power"
 	"powermap/internal/prob"
 )
@@ -95,6 +96,20 @@ const (
 	AreaDelay  = mapper.AreaDelay
 	PowerDelay = mapper.PowerDelay
 )
+
+// Observability re-exports (see internal/obs): set Options.Obs to a
+// NewScope to collect phase spans and pipeline metrics from a run.
+type (
+	// Scope bundles a tracer and metrics registry; nil disables both.
+	Scope = obs.Scope
+	// ObsConfig configures a Scope (e.g. a slog.Logger for phase spans).
+	ObsConfig = obs.Config
+	// Snapshot is an exportable capture of a Scope's spans and metrics.
+	Snapshot = obs.Snapshot
+)
+
+// NewScope returns an enabled observability scope.
+func NewScope(cfg ObsConfig) *Scope { return obs.New(cfg) }
 
 // Synthesize runs the full flow — quick-opt, power-efficient technology
 // decomposition, power-efficient technology mapping — on a copy of the
