@@ -16,6 +16,8 @@
 package powermap
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"powermap/internal/core"
@@ -40,7 +42,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func benchTable(b *testing.B, methods []Method) {
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.RunSuite(methods, core.Options{Style: Static}, benchCircuits)
+		rows, err := eval.RunSuite(context.Background(), methods, core.Options{Style: Static}, benchCircuits)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +68,7 @@ func BenchmarkTable3(b *testing.B) {
 
 func BenchmarkSummary(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.RunSuite(Methods(), core.Options{Style: Static}, benchCircuits)
+		rows, err := eval.RunSuite(context.Background(), Methods(), core.Options{Style: Static}, benchCircuits)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -272,7 +274,7 @@ func BenchmarkDriveRecovery(b *testing.B) {
 	lib := Lib2()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Synthesize(src, Options{Method: MethodI, Relax: 0.0001, Style: Static, Library: lib})
+		res, err := Synthesize(src, Options{Method: MethodI, Relax: Float64(0.0001), Style: Static, Library: lib})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -292,7 +294,7 @@ func BenchmarkDecomposeOnly(b *testing.B) {
 	src := bench.Build()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := decomp.Decompose(src, decomp.Options{Strategy: decomp.MinPower, Style: huffman.Static})
+		res, err := decomp.Decompose(context.Background(), src, decomp.Options{Strategy: decomp.MinPower, Style: huffman.Static})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -307,19 +309,65 @@ func BenchmarkMapOnly(b *testing.B) {
 		b.Fatal(err)
 	}
 	src := bench.Build()
-	d, err := decomp.Decompose(src, decomp.Options{Strategy: decomp.MinPower, Style: huffman.Static})
+	d, err := decomp.Decompose(context.Background(), src, decomp.Options{Strategy: decomp.MinPower, Style: huffman.Static})
 	if err != nil {
 		b.Fatal(err)
 	}
 	lib := Lib2()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		nl, err := mapper.Map(d.Network, d.Model, mapper.Options{
-			Objective: mapper.PowerDelay, Library: lib, Relax: 0.15,
+		nl, err := mapper.Map(context.Background(), d.Network, d.Model, mapper.Options{
+			Objective: mapper.PowerDelay, Library: lib, Relax: mapper.Float64(0.15),
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(nl.Report.PowerUW, "uW")
+	}
+}
+
+// BenchmarkSynthesizeParallel measures the end-to-end flow at several
+// worker-pool sizes on a mid-size circuit. On a multi-core host the
+// workers>1 variants should win; on a single-CPU host they only measure
+// the pool's overhead, since every schedule degenerates to one runner.
+func BenchmarkSynthesizeParallel(b *testing.B) {
+	bench, err := BenchmarkByName("alu2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := bench.Build()
+	lib := Lib2()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := SynthesizeContext(context.Background(), src, Options{
+					Method: MethodVI, Style: Static, Workers: w, Library: lib,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Report.PowerUW, "uW")
+			}
+		})
+	}
+}
+
+// BenchmarkRunSuiteParallel measures the harness-level (circuit, method)
+// fan-out at several pool sizes.
+func BenchmarkRunSuiteParallel(b *testing.B) {
+	names := []string{"cm42a", "x2"}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := eval.RunSuite(context.Background(), Methods(),
+					core.Options{Style: Static, Workers: w}, names)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(names) {
+					b.Fatal("suite shape broken")
+				}
+			}
+		})
 	}
 }

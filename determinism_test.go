@@ -1,0 +1,124 @@
+package powermap
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"powermap/internal/core"
+	"powermap/internal/eval"
+)
+
+// synthSignature captures everything a downstream consumer can observe
+// about a synthesis result: the serialized mapped netlist, the gate list
+// in emission order, and the priced report.
+func synthSignature(t *testing.T, res *Result) string {
+	t.Helper()
+	var blif bytes.Buffer
+	if err := res.Netlist.WriteBLIF(&blif); err != nil {
+		t.Fatal(err)
+	}
+	var gates strings.Builder
+	for _, g := range res.Netlist.Gates {
+		fmt.Fprintf(&gates, "%s=%s(", g.Root.Name, g.Cell.Name)
+		for i, in := range g.Inputs {
+			if i > 0 {
+				gates.WriteByte(',')
+			}
+			gates.WriteString(in.Name)
+		}
+		gates.WriteString(")\n")
+	}
+	return fmt.Sprintf("report=%+v\ngates:\n%s\nblif:\n%s",
+		res.Report, gates.String(), blif.String())
+}
+
+// TestSynthesizeDeterministicAcrossWorkers is the concurrency contract of
+// the pipeline: for every worker count the mapped netlist, its gate order,
+// and the priced report are byte-identical to the sequential run — in both
+// DAG and strict-tree mapping modes.
+func TestSynthesizeDeterministicAcrossWorkers(t *testing.T) {
+	for _, name := range []string{"cm42a", "x2", "s208"} {
+		for _, tree := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/tree=%v", name, tree), func(t *testing.T) {
+				b, err := BenchmarkByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want string
+				for _, w := range []int{1, 2, 8} {
+					res, err := SynthesizeContext(context.Background(), b.Build(), Options{
+						Method:   MethodVI,
+						Style:    Static,
+						TreeMode: tree,
+						Workers:  w,
+					})
+					if err != nil {
+						t.Fatalf("workers=%d: %v", w, err)
+					}
+					got := synthSignature(t, res)
+					if w == 1 {
+						want = got
+						continue
+					}
+					if got != want {
+						t.Errorf("workers=%d diverged from sequential run:\n--- want ---\n%s\n--- got ---\n%s",
+							w, want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunSuiteDeterministicAcrossWorkers pins the harness-level fan-out:
+// the formatted Tables 2/3 must not depend on the worker count.
+func TestRunSuiteDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite determinism test skipped in -short mode")
+	}
+	names := []string{"cm42a", "x2"}
+	render := func(rows []eval.CircuitRow) string {
+		return eval.FormatTable(rows, []core.Method{MethodI, MethodII, MethodIII}) +
+			eval.FormatTable(rows, []core.Method{MethodIV, MethodV, MethodVI})
+	}
+	var want string
+	for _, w := range []int{1, 4} {
+		rows, err := RunSuite(Methods(), Options{Style: Static, Workers: w}, names)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := render(rows)
+		if w == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d tables diverged from sequential run:\n--- want ---\n%s\n--- got ---\n%s",
+				w, want, got)
+		}
+	}
+}
+
+// TestSynthesizeContextCancel checks that a canceled context aborts the
+// run with a context error rather than a partial result.
+func TestSynthesizeContextCancel(t *testing.T) {
+	b, err := BenchmarkByName("cm42a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SynthesizeContext(ctx, b.Build(), Options{Method: MethodVI, Style: Static})
+	if err == nil {
+		t.Fatal("want error from canceled context, got result")
+	}
+	if res != nil {
+		t.Fatalf("want nil result on cancellation, got %v", res)
+	}
+	if !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("error %q does not mention cancellation", err)
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -89,7 +90,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ok, err := prob.EquivalentOutputs(res.Decomp.Network, back)
+	ok, err := prob.EquivalentOutputs(context.Background(), res.Decomp.Network, back)
 	if err != nil {
 		log.Fatal(err)
 	}

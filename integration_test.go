@@ -1,6 +1,7 @@
 package powermap
 
 import (
+	"context"
 	"testing"
 
 	"powermap/internal/core"
@@ -18,7 +19,7 @@ func TestSuiteShape(t *testing.T) {
 		t.Skip("suite shape test skipped in -short mode")
 	}
 	names := []string{"s208", "cm42a", "x2", "alu2"}
-	rows, err := eval.RunSuite(Methods(), core.Options{Style: Static}, names)
+	rows, err := eval.RunSuite(context.Background(), Methods(), core.Options{Style: Static}, names)
 	if err != nil {
 		t.Fatal(err)
 	}

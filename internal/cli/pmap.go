@@ -3,11 +3,14 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"powermap/internal/blif"
 	"powermap/internal/circuits"
@@ -45,6 +48,8 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		method2  = fs.Bool("method2", false, "use Section 3.1 Method 2 power accounting (ablation)")
 		recovery = fs.Bool("recover", false, "run drive-strength power recovery after mapping")
 		topPower = fs.Int("top", 0, "print the N most power-hungry signals")
+		workers  = fs.Int("workers", 0, "worker pool size for parallel phases (0 = all CPUs)")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		verbose  = fs.Bool("v", false, "log phase spans to stderr as they complete")
 		stats    = fs.String("stats", "", "write a JSON metrics/trace snapshot to this file (\"-\" for stdout)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -89,27 +94,30 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		}
 	}()
 	sc := newScope(*verbose, *stats, errOut)
-	res, err := core.Synthesize(src, core.Options{
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	res, err := core.SynthesizeContext(ctx, src, core.Options{
 		Method:       m,
 		Style:        st,
 		Exact:        *exact,
 		PIProb:       probs,
-		Relax:        *relax,
+		Relax:        relax,
 		Epsilon:      *epsilon,
 		TreeMode:     *tree,
 		PowerMethod2: *method2,
+		Workers:      *workers,
 		Library:      lib,
 		Obs:          sc,
 	})
 	if err != nil {
-		return err
+		return timeoutError(*timeout, err)
 	}
 	if *verify {
 		span := sc.Start("verify-source")
-		err := core.VerifyAgainstSource(src, res)
+		err := core.VerifyAgainstSource(ctx, src, res)
 		span.End()
 		if err != nil {
-			return err
+			return timeoutError(*timeout, err)
 		}
 	}
 
@@ -177,6 +185,25 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		}
 	}
 	return writeStats(sc, *stats, out)
+}
+
+// timeoutContext returns a context honoring the -timeout flag; d <= 0
+// means no deadline. The cancel func is always non-nil.
+func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// timeoutError rewraps a deadline expiry as a one-line user-facing
+// message; any other error passes through untouched. The cmd/ mains
+// prefix the tool name, so the message doesn't repeat it.
+func timeoutError(d time.Duration, err error) error {
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("run exceeded -timeout %v: %w", d, err)
+	}
+	return err
 }
 
 func writeFile(path string, write func(io.Writer) error) error {

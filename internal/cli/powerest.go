@@ -28,6 +28,8 @@ func Powerest(args []string, out, errOut io.Writer) error {
 		perNode  = fs.Bool("nodes", false, "print per-node probabilities and activities")
 		top      = fs.Int("top", 10, "print the N most active nodes")
 		mc       = fs.Int("mc", 0, "cross-check against N Monte-Carlo vectors")
+		workers  = fs.Int("workers", 1, "Monte-Carlo worker pool size; >1 switches to the chunked parallel stream (0 = all CPUs)")
+		timeout  = fs.Duration("timeout", 0, "abort the estimation after this duration (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -63,8 +65,10 @@ func Powerest(args []string, out, errOut io.Writer) error {
 	for _, name := range nw.PINames() {
 		probs[name] = *piProb
 	}
-	if _, err := prob.Compute(nw, probs, st); err != nil {
-		return err
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	if _, err := prob.ComputeContext(ctx, nw, probs, st); err != nil {
+		return timeoutError(*timeout, err)
 	}
 
 	var internals []*network.Node
@@ -83,9 +87,17 @@ func Powerest(args []string, out, errOut io.Writer) error {
 	}
 
 	if *mc > 0 {
-		est, err := sim.Activities(nw, probs, *mc, 1)
+		// -workers 1 (the default) keeps the historical single-stream
+		// sampler; any other value selects the chunked stream, whose
+		// estimate is identical for every pool size.
+		var est map[*network.Node]sim.Estimate
+		if *workers == 1 {
+			est, err = sim.Activities(nw, probs, *mc, 1)
+		} else {
+			est, err = sim.ActivitiesParallel(ctx, nw, probs, *mc, 1, *workers)
+		}
 		if err != nil {
-			return err
+			return timeoutError(*timeout, err)
 		}
 		worst, mcTotal := 0.0, 0.0
 		for _, n := range internals {

@@ -25,6 +25,8 @@ func Tables(args []string, out, errOut io.Writer) error {
 		subset   = fs.String("circuits", "", "comma-separated benchmark subset for Tables 2/3")
 		relax    = fs.Float64("relax", 0.15, "timing slack fraction of the reference run")
 		exact    = fs.Bool("exact", false, "use BDD-exact decomposition costs")
+		workers  = fs.Int("workers", 0, "worker pool size for the (circuit, method) runs (0 = all CPUs)")
+		timeout  = fs.Duration("timeout", 0, "abort the suite after this duration (0 = none)")
 		verbose  = fs.Bool("v", false, "log phase spans to stderr as they complete")
 		stats    = fs.String("stats", "", "write a JSON metrics/trace snapshot to this file (\"-\" for stdout)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -79,10 +81,14 @@ func Tables(args []string, out, errOut io.Writer) error {
 	if !needSuite {
 		return writeStats(sc, *stats, out)
 	}
-	base := core.Options{Style: huffman.Static, Relax: *relax, Exact: *exact, Obs: sc}
-	rows, err := eval.RunSuite(core.Methods(), base, names)
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, Workers: *workers, Obs: sc}
+	rows, err := eval.RunSuite(ctx, core.Methods(), base, names)
 	if err != nil {
-		return err
+		// On expiry eval reports how many of the suite's runs completed
+		// before the deadline; surface that as the whole story.
+		return timeoutError(*timeout, err)
 	}
 	eval.SortRowsByTableOrder(rows)
 	if runAll || want == "2" {

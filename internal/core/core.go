@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"powermap/internal/decomp"
@@ -106,9 +107,11 @@ type Options struct {
 	// EliminateThreshold is passed to opt.Optimize (0 collapses only
 	// growth-free nodes, the default; negative disables elimination).
 	EliminateThreshold int
-	// Relax loosens the mapper's defaulted required times (default 0.15,
-	// giving both ad-map and pd-map the same modest timing slack to spend).
-	Relax float64
+	// Relax loosens the mapper's defaulted required times as a fraction of
+	// the fastest mapping's delay. Nil selects mapper.DefaultRelax (0.15),
+	// giving both ad-map and pd-map the same modest timing slack to spend;
+	// Float64(0) demands the fastest mapping.
+	Relax *float64
 	// Epsilon is the mapper's curve-pruning width.
 	Epsilon float64
 	// TreeMode uses strict tree partitioning in the mapper.
@@ -131,7 +134,15 @@ type Options struct {
 	// stage (decomp, mapper, bdd, timing). Nil — the default — disables
 	// all instrumentation at near-zero cost.
 	Obs *obs.Scope
+	// Workers bounds the worker pool used by the parallel pipeline phases
+	// (decomposition planning, mapper curve construction). <= 0 means one
+	// worker per CPU; 1 reproduces the sequential pipeline exactly. Results
+	// are identical for every worker count.
+	Workers int
 }
+
+// Float64 returns a pointer to v, for optional fields like Options.Relax.
+func Float64(v float64) *float64 { return &v }
 
 // Result is the outcome of a full synthesis run.
 type Result struct {
@@ -150,15 +161,20 @@ type Result struct {
 // Synthesize runs the full flow on a copy of the input network. The input
 // is never modified.
 func Synthesize(nw *network.Network, o Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), nw, o)
+}
+
+// SynthesizeContext is Synthesize with cancellation: the ctx is checked
+// between pipeline phases and inside the long per-node loops of each
+// phase, so deadlines abort long runs promptly. The input is never
+// modified either way.
+func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Result, error) {
 	if o.Method != 0 {
 		o.Decomposition = o.Method.Decomposition()
 		o.Mapping = o.Method.Mapping()
 	}
 	if o.Library == nil {
 		o.Library = genlib.Lib2()
-	}
-	if o.Relax == 0 {
-		o.Relax = 0.15
 	}
 	res := &Result{}
 	sc := o.Obs
@@ -169,7 +185,7 @@ func Synthesize(nw *network.Network, o Options) (*Result, error) {
 		// "relatively simple nodes" the paper attributes to its
 		// fast_extract/quick-decomposition front end (Section 4).
 		span := sc.Start("quick-opt")
-		st, err := opt.Optimize(work, opt.Options{
+		st, err := opt.Optimize(ctx, work, opt.Options{
 			EliminateThreshold: o.EliminateThreshold,
 			MaxNodeLiterals:    6,
 			StrongSimplify:     o.StrongSimplify,
@@ -184,13 +200,14 @@ func Synthesize(nw *network.Network, o Options) (*Result, error) {
 	res.Optimized = work
 
 	span := sc.Start("decompose")
-	d, err := decomp.Decompose(work, decomp.Options{
+	d, err := decomp.Decompose(ctx, work, decomp.Options{
 		Strategy: o.Decomposition,
 		Style:    o.Style,
 		Exact:    o.Exact,
 		PIProb:   o.PIProb,
 		Strash:   o.Strash,
 		Obs:      sc,
+		Workers:  o.Workers,
 	})
 	span.End()
 	if err != nil {
@@ -199,7 +216,7 @@ func Synthesize(nw *network.Network, o Options) (*Result, error) {
 	res.Decomp = d
 
 	span = sc.Start("map")
-	nl, err := mapper.Map(d.Network, d.Model, mapper.Options{
+	nl, err := mapper.Map(ctx, d.Network, d.Model, mapper.Options{
 		Objective:    o.Mapping,
 		Library:      o.Library,
 		TreeMode:     o.TreeMode,
@@ -210,6 +227,7 @@ func Synthesize(nw *network.Network, o Options) (*Result, error) {
 		Relax:        o.Relax,
 		PowerMethod2: o.PowerMethod2,
 		Obs:          sc,
+		Workers:      o.Workers,
 	})
 	span.End()
 	if err != nil {
@@ -233,15 +251,15 @@ func Synthesize(nw *network.Network, o Options) (*Result, error) {
 // VerifyAgainstSource checks that the synthesized result still computes the
 // original network's outputs (BDD equivalence of the optimized network vs
 // the source; the mapped netlist is verified gate-by-gate in Synthesize).
-func VerifyAgainstSource(src *network.Network, res *Result) error {
-	ok, err := prob.EquivalentOutputs(src, res.Optimized)
+func VerifyAgainstSource(ctx context.Context, src *network.Network, res *Result) error {
+	ok, err := prob.EquivalentOutputs(ctx, src, res.Optimized)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return fmt.Errorf("core: optimized network is not equivalent to the source")
 	}
-	ok, err = prob.EquivalentOutputs(src, res.Decomp.Network)
+	ok, err = prob.EquivalentOutputs(ctx, src, res.Decomp.Network)
 	if err != nil {
 		return err
 	}

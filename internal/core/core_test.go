@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"powermap/internal/circuits"
@@ -36,7 +37,7 @@ func TestSynthesizeAllMethodsSmallCircuit(t *testing.T) {
 		if err != nil {
 			t.Fatalf("method %v: %v", m, err)
 		}
-		if err := VerifyAgainstSource(src, res); err != nil {
+		if err := VerifyAgainstSource(context.Background(), src, res); err != nil {
 			t.Fatalf("method %v: %v", m, err)
 		}
 		if res.Report.Gates == 0 || res.Report.GateArea <= 0 || res.Report.PowerUW <= 0 {
@@ -55,10 +56,10 @@ func TestSynthesizeALU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := VerifyAgainstSource(src, adRes); err != nil {
+	if err := VerifyAgainstSource(context.Background(), src, adRes); err != nil {
 		t.Fatal(err)
 	}
-	if err := VerifyAgainstSource(src, pdRes); err != nil {
+	if err := VerifyAgainstSource(context.Background(), src, pdRes); err != nil {
 		t.Fatal(err)
 	}
 	// The headline shape: pd-map spends area to save power.
@@ -75,7 +76,7 @@ func TestSynthesizeDominoStyles(t *testing.T) {
 		if err != nil {
 			t.Fatalf("style %v: %v", style, err)
 		}
-		if err := VerifyAgainstSource(src, res); err != nil {
+		if err := VerifyAgainstSource(context.Background(), src, res); err != nil {
 			t.Fatalf("style %v: %v", style, err)
 		}
 	}
@@ -87,7 +88,7 @@ func TestSynthesizeExactCosting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := VerifyAgainstSource(src, res); err != nil {
+	if err := VerifyAgainstSource(context.Background(), src, res); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -116,7 +117,7 @@ func TestSynthesizeOptionPaths(t *testing.T) {
 		if err != nil {
 			t.Fatalf("options %+v: %v", o, err)
 		}
-		if err := VerifyAgainstSource(src, res); err != nil {
+		if err := VerifyAgainstSource(context.Background(), src, res); err != nil {
 			t.Fatalf("options %+v: %v", o, err)
 		}
 	}

@@ -1,8 +1,11 @@
 package decomp
 
 import (
+	"context"
+	"fmt"
 	"math"
 
+	"powermap/internal/exec"
 	"powermap/internal/network"
 	"powermap/internal/prob"
 )
@@ -21,7 +24,7 @@ import (
 // of the violation it causes; iterating node-by-node from the most negative
 // slack reproduces the paper's greedy order (ties broken toward nodes
 // shared by more paths, approximated by fanout count).
-func boundedPass(cp *network.Network, model *prob.Model, plans []*plan, opt Options) (int, error) {
+func boundedPass(ctx context.Context, cp *network.Network, model *prob.Model, plans []*plan, opt Options) (int, error) {
 	planOf := make(map[*network.Node]*plan, len(plans))
 	for _, p := range plans {
 		planOf[p.n] = p
@@ -35,6 +38,9 @@ func boundedPass(cp *network.Network, model *prob.Model, plans []*plan, opt Opti
 	stuck := opt.Obs.Counter("decomp.redecomp_stuck")
 	redecomps := 0
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return redecomps, fmt.Errorf("decomp: bounded pass: %w", err)
+		}
 		iterations.Inc()
 		arrival, required := virtualTiming(cp, planOf, opt)
 		// Select the most negative slack plan that can still be tightened.
@@ -79,20 +85,27 @@ func boundedPass(cp *network.Network, model *prob.Model, plans []*plan, opt Opti
 
 // conventionalArrivals plans a balanced decomposition of every node and
 // returns the unit-delay arrival time each primary output would reach with
-// it, used as the default required times of the bounded strategy.
-func conventionalArrivals(cp *network.Network, model *prob.Model, opt Options) (map[string]float64, error) {
+// it, used as the default required times of the bounded strategy. Like the
+// main plan phase, the per-node balanced plans are independent and fan out
+// across the worker pool.
+func conventionalArrivals(ctx context.Context, cp *network.Network, model *prob.Model, opt Options, workers int) (map[string]float64, error) {
 	balOpt := opt
 	balOpt.Strategy = Conventional
-	planOf := make(map[*network.Node]*plan)
+	var nodes []*network.Node
 	for _, n := range cp.TopoOrder() {
-		if n.Kind != network.Internal {
-			continue
+		if n.Kind == network.Internal {
+			nodes = append(nodes, n)
 		}
-		p, err := makePlan(cp, model, n, balOpt)
-		if err != nil {
-			return nil, err
-		}
-		planOf[n] = p
+	}
+	plans, err := exec.Map(ctx, workers, len(nodes), func(ctx context.Context, i int) (*plan, error) {
+		return makePlan(cp, model, nodes[i], balOpt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	planOf := make(map[*network.Node]*plan, len(plans))
+	for i, p := range plans {
+		planOf[nodes[i]] = p
 	}
 	arr, _ := virtualTiming(cp, planOf, balOpt)
 	req := make(map[string]float64, len(cp.Outputs))

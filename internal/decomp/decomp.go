@@ -24,9 +24,11 @@
 package decomp
 
 import (
+	"context"
 	"fmt"
 
 	"powermap/internal/bdd"
+	"powermap/internal/exec"
 	"powermap/internal/huffman"
 	"powermap/internal/network"
 	"powermap/internal/obs"
@@ -92,6 +94,11 @@ type Options struct {
 	// counts, slack-loop iterations, BDD manager statistics). Nil
 	// disables instrumentation.
 	Obs *obs.Scope
+	// Workers bounds the pool used to plan node trees in parallel. <= 0
+	// means one worker per CPU; 1 plans sequentially. Exact mode always
+	// plans with one worker (the shared BDD manager is not safe for
+	// concurrent use). Plans are identical for every worker count.
+	Workers int
 }
 
 // flushBDDStats folds one BDD manager's work counters into the metrics
@@ -226,41 +233,52 @@ func (p *plan) leafArrivalDepths() map[*network.Node]int {
 
 // Decompose expands every internal node of nw into minimum-switching
 // NAND2/INV trees per the configured strategy. The input network is not
-// modified.
-func Decompose(nw *network.Network, opt Options) (*Result, error) {
+// modified. The ctx cancels the run between phases and between nodes; the
+// Workers option fans the per-node tree planning out across a pool with
+// results identical to a sequential run.
+func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, error) {
 	sc := opt.Obs
+	workers := exec.Workers(opt.Workers)
+	if opt.Exact {
+		// Exact mode prices merges through the model's shared BDD manager,
+		// which is not safe for concurrent use.
+		workers = 1
+	}
 	cp := nw.Duplicate()
 	cp.Sweep()
 	if err := cp.Check(); err != nil {
 		return nil, fmt.Errorf("decomp: input network: %w", err)
 	}
 	span := sc.Start("decomp.probabilities")
-	model, err := prob.Compute(cp, opt.PIProb, opt.Style)
+	model, err := prob.ComputeContext(ctx, cp, opt.PIProb, opt.Style)
 	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("decomp: %w", err)
 	}
 
-	// Phase 1: plan a tree for every internal node (postorder).
+	// Phase 1: plan a tree for every internal node. Each plan is a pure
+	// function of the node's own cover and its fanins' probabilities, so
+	// nodes fan out across the pool; index-ordered collection keeps the
+	// plan list in topo order regardless of scheduling.
 	span = sc.Start("decomp.plan-trees")
-	var plans []*plan
+	var nodes []*network.Node
 	for _, n := range cp.TopoOrder() {
-		if n.Kind != network.Internal {
-			continue
+		if n.Kind == network.Internal {
+			nodes = append(nodes, n)
 		}
+	}
+	plans, err := exec.Map(ctx, workers, len(nodes), func(ctx context.Context, i int) (*plan, error) {
+		n := nodes[i]
 		n.Func.Minimize()
 		if n.Func.IsZero() || n.Func.IsOne() {
-			span.End()
 			return nil, fmt.Errorf("decomp: node %s is constant; run opt.Sweep/opt.Optimize first", n.Name)
 		}
-		p, err := makePlan(cp, model, n, opt)
-		if err != nil {
-			span.End()
-			return nil, err
-		}
-		plans = append(plans, p)
-	}
+		return makePlan(cp, model, n, opt)
+	})
 	span.End()
+	if err != nil {
+		return nil, err
+	}
 	sc.Counter("decomp.nodes_planned").Add(int64(len(plans)))
 
 	redecomps := 0
@@ -271,7 +289,7 @@ func Decompose(nw *network.Network, opt Options) (*Result, error) {
 			// height increase the MINPOWER pass introduced (Section 2.2's
 			// problem statement).
 			span = sc.Start("decomp.slack-targets")
-			req, err := conventionalArrivals(cp, model, opt)
+			req, err := conventionalArrivals(ctx, cp, model, opt, workers)
 			span.End()
 			if err != nil {
 				return nil, err
@@ -279,7 +297,7 @@ func Decompose(nw *network.Network, opt Options) (*Result, error) {
 			opt.PORequired = req
 		}
 		span = sc.Start("decomp.bounded-redecomp")
-		redecomps, err = boundedPass(cp, model, plans, opt)
+		redecomps, err = boundedPass(ctx, cp, model, plans, opt)
 		span.End()
 		if err != nil {
 			return nil, err
@@ -290,6 +308,10 @@ func Decompose(nw *network.Network, opt Options) (*Result, error) {
 	span = sc.Start("decomp.materialize")
 	inv := newInvCache(cp)
 	for _, p := range plans {
+		if err := ctx.Err(); err != nil {
+			span.End()
+			return nil, fmt.Errorf("decomp: %w", err)
+		}
 		if err := materialize(cp, inv, p); err != nil {
 			span.End()
 			return nil, err
@@ -302,7 +324,7 @@ func Decompose(nw *network.Network, opt Options) (*Result, error) {
 	// whose domino activities sum to exactly 1, which would make the
 	// metric degenerate.
 	span = sc.Start("decomp.activity")
-	totalActivity, err := andOrActivity(cp, opt)
+	totalActivity, err := andOrActivity(ctx, cp, opt)
 	span.End()
 	if err != nil {
 		return nil, err
@@ -327,7 +349,7 @@ func Decompose(nw *network.Network, opt Options) (*Result, error) {
 	}
 
 	span = sc.Start("decomp.final-probabilities")
-	final, err := prob.Compute(cp, opt.PIProb, opt.Style)
+	final, err := prob.ComputeContext(ctx, cp, opt.PIProb, opt.Style)
 	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("decomp: final probabilities: %w", err)
@@ -351,8 +373,8 @@ func Decompose(nw *network.Network, opt Options) (*Result, error) {
 
 // andOrActivity sums the exact switching activity over the internal nodes
 // of the materialized AND/OR network (the Section 2 objective value).
-func andOrActivity(cp *network.Network, opt Options) (float64, error) {
-	m, err := prob.Compute(cp, opt.PIProb, opt.Style)
+func andOrActivity(ctx context.Context, cp *network.Network, opt Options) (float64, error) {
+	m, err := prob.ComputeContext(ctx, cp, opt.PIProb, opt.Style)
 	if err != nil {
 		return 0, fmt.Errorf("decomp: AND/OR activities: %w", err)
 	}

@@ -1,6 +1,7 @@
 package decomp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -61,7 +62,7 @@ func checkSubjectGraph(t *testing.T, nw *network.Network) {
 func decomposeAll(t *testing.T, text string, opt Options) *Result {
 	t.Helper()
 	nw := mustParse(t, text)
-	res, err := Decompose(nw, opt)
+	res, err := Decompose(context.Background(), nw, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func decomposeAll(t *testing.T, text string, opt Options) *Result {
 		t.Fatalf("decomposed network invalid: %v", err)
 	}
 	checkSubjectGraph(t, res.Network)
-	ok, err := prob.EquivalentOutputs(nw, res.Network)
+	ok, err := prob.EquivalentOutputs(context.Background(), nw, res.Network)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestDecomposeRejectsConstantNodes(t *testing.T) {
 	a := nw.AddPI("a")
 	n := nw.AddNode("n", []*network.Node{a}, sop.One(1))
 	nw.MarkOutput("y", n)
-	_, err := Decompose(nw, Options{Strategy: MinPower, Style: huffman.Static})
+	_, err := Decompose(context.Background(), nw, Options{Strategy: MinPower, Style: huffman.Static})
 	if err == nil || !strings.Contains(err.Error(), "constant") {
 		t.Errorf("constant node not rejected: %v", err)
 	}
@@ -171,7 +172,7 @@ func TestDecomposeRejectsConstantNodes(t *testing.T) {
 func TestDecomposeLeavesInputNetworkIntact(t *testing.T) {
 	nw := mustParse(t, sopBlif)
 	before := nw.Stats()
-	if _, err := Decompose(nw, Options{Strategy: MinPower, Style: huffman.Static}); err != nil {
+	if _, err := Decompose(context.Background(), nw, Options{Strategy: MinPower, Style: huffman.Static}); err != nil {
 		t.Fatal(err)
 	}
 	after := nw.Stats()
@@ -224,12 +225,12 @@ func TestRandomNetworksPreserveFunction(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		nw := randomNetwork(r, 5, 8)
 		for _, strat := range []Strategy{Conventional, MinPower} {
-			res, err := Decompose(nw, Options{Strategy: strat, Style: huffman.Static})
+			res, err := Decompose(context.Background(), nw, Options{Strategy: strat, Style: huffman.Static})
 			if err != nil {
 				t.Fatalf("trial %d %v: %v", trial, strat, err)
 			}
 			checkSubjectGraph(t, res.Network)
-			ok, err := prob.EquivalentOutputs(nw, res.Network)
+			ok, err := prob.EquivalentOutputs(context.Background(), nw, res.Network)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -360,7 +361,7 @@ func TestBoundedMultiCubeNodes(t *testing.T) {
 	nw := mustParse(t, text)
 	piProb := map[string]float64{"a": 0.1, "b": 0.2, "c": 0.3, "d": 0.4,
 		"e": 0.6, "f": 0.7, "g": 0.8, "h": 0.9}
-	res, err := Decompose(nw, Options{
+	res, err := Decompose(context.Background(), nw, Options{
 		Strategy:   BoundedMinPower,
 		Style:      huffman.DominoP,
 		PIProb:     piProb,
@@ -370,7 +371,7 @@ func TestBoundedMultiCubeNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkSubjectGraph(t, res.Network)
-	ok, err := prob.EquivalentOutputs(nw, res.Network)
+	ok, err := prob.EquivalentOutputs(context.Background(), nw, res.Network)
 	if err != nil || !ok {
 		t.Fatalf("bounded multi-cube changed function: %v %v", ok, err)
 	}
@@ -387,7 +388,7 @@ func TestDecomposeWithStrash(t *testing.T) {
 
 func TestDecomposeBadProbability(t *testing.T) {
 	nw := mustParse(t, sopBlif)
-	_, err := Decompose(nw, Options{Strategy: MinPower, Style: huffman.Static,
+	_, err := Decompose(context.Background(), nw, Options{Strategy: MinPower, Style: huffman.Static,
 		PIProb: map[string]float64{"a": 2}})
 	if err == nil {
 		t.Error("bad probability accepted")

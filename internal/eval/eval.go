@@ -11,13 +11,17 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"powermap/internal/circuits"
 	"powermap/internal/core"
+	"powermap/internal/exec"
 	"powermap/internal/huffman"
 	"powermap/internal/power"
 )
@@ -82,7 +86,15 @@ type CircuitRow struct {
 // required times, and every method is then synthesized under those common
 // constraints — the fair comparison behind the paper's "without
 // degradation in performance" claim.
-func RunSuite(methods []core.Method, base core.Options, names []string) ([]CircuitRow, error) {
+//
+// The suite fans out across base.Workers workers in two stages: the
+// per-circuit reference runs, then every (circuit, method) run. Each task
+// synthesizes its own copy of the benchmark (the source network's scratch
+// traversal state must not be shared between concurrent runs), and rows
+// are assembled in suite order, so results are identical to a sequential
+// run for every worker count. On cancellation the error reports how many
+// runs completed before expiry.
+func RunSuite(ctx context.Context, methods []core.Method, base core.Options, names []string) ([]CircuitRow, error) {
 	suite := circuits.Suite()
 	if len(names) > 0 {
 		var filtered []circuits.Benchmark
@@ -95,12 +107,30 @@ func RunSuite(methods []core.Method, base core.Options, names []string) ([]Circu
 		}
 		suite = filtered
 	}
-	var rows []CircuitRow
-	for _, b := range suite {
-		src := b.Build()
+	workers := exec.Workers(base.Workers)
+	inner := base.Workers
+	if workers > 1 {
+		// Fan out across runs, not inside them: (circuit, method) tasks
+		// outnumber cores on any real suite, and coarse tasks carry less
+		// synchronization overhead than nested per-node pools.
+		inner = 1
+	}
+	total := len(suite) * (1 + len(methods))
+	var done atomic.Int64
+	interrupted := func(err error) error {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return fmt.Errorf("eval: suite interrupted after %d of %d runs: %w", done.Load(), total, err)
+		}
+		return err
+	}
+
+	// Stage A: Method-I reference runs fix each circuit's required times.
+	reqs, err := exec.Map(ctx, workers, len(suite), func(ctx context.Context, i int) (map[string]float64, error) {
+		b := suite[i]
 		o := base
 		o.Method = core.MethodI
-		ref, err := core.Synthesize(src, o)
+		o.Workers = inner
+		ref, err := core.SynthesizeContext(ctx, b.Build(), o)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s reference run: %w", b.Name, err)
 		}
@@ -108,18 +138,45 @@ func RunSuite(methods []core.Method, base core.Options, names []string) ([]Circu
 		for name, t := range req {
 			req[name] = t * 1.001 // absorb rounding in the reference arrivals
 		}
-		row := CircuitRow{Circuit: b.Name, Results: map[core.Method]power.Report{}}
-		for _, m := range methods {
-			o := base
-			o.Method = m
-			o.PORequired = req
-			res, err := core.Synthesize(src, o)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s method %v: %w", b.Name, m, err)
-			}
-			row.Results[m] = res.Report
+		done.Add(1)
+		return req, nil
+	})
+	if err != nil {
+		return nil, interrupted(err)
+	}
+
+	// Stage B: every (circuit, method) run under the common constraints.
+	type runKey struct{ ci, mi int }
+	tasks := make([]runKey, 0, len(suite)*len(methods))
+	for ci := range suite {
+		for mi := range methods {
+			tasks = append(tasks, runKey{ci, mi})
 		}
-		rows = append(rows, row)
+	}
+	reports, err := exec.Map(ctx, workers, len(tasks), func(ctx context.Context, t int) (power.Report, error) {
+		k := tasks[t]
+		b := suite[k.ci]
+		o := base
+		o.Method = methods[k.mi]
+		o.PORequired = reqs[k.ci]
+		o.Workers = inner
+		res, err := core.SynthesizeContext(ctx, b.Build(), o)
+		if err != nil {
+			return power.Report{}, fmt.Errorf("eval: %s method %v: %w", b.Name, methods[k.mi], err)
+		}
+		done.Add(1)
+		return res.Report, nil
+	})
+	if err != nil {
+		return nil, interrupted(err)
+	}
+	rows := make([]CircuitRow, len(suite))
+	for ci, b := range suite {
+		rows[ci] = CircuitRow{Circuit: b.Name, Results: make(map[core.Method]power.Report, len(methods))}
+	}
+	for t, rep := range reports {
+		k := tasks[t]
+		rows[k.ci].Results[methods[k.mi]] = rep
 	}
 	return rows, nil
 }

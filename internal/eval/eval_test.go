@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestFormatTable1(t *testing.T) {
 }
 
 func TestRunSuiteSmall(t *testing.T) {
-	rows, err := RunSuite(core.Methods(), core.Options{Style: huffman.Static}, []string{"cm42a", "alu2"})
+	rows, err := RunSuite(context.Background(), core.Methods(), core.Options{Style: huffman.Static}, []string{"cm42a", "alu2"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestRunSuiteSmall(t *testing.T) {
 }
 
 func TestRunSuiteUnknownCircuit(t *testing.T) {
-	if _, err := RunSuite(core.Methods(), core.Options{Style: huffman.Static}, []string{"bogus"}); err == nil {
+	if _, err := RunSuite(context.Background(), core.Methods(), core.Options{Style: huffman.Static}, []string{"bogus"}); err == nil {
 		t.Error("unknown circuit accepted")
 	}
 }

@@ -1,0 +1,177 @@
+// Package exec is the pipeline's execution layer: a bounded worker pool
+// with deterministic, index-ordered result collection, first-error
+// cancellation, and panic capture. Every parallel phase of the flow
+// (per-node decomposition planning, per-level curve construction in the
+// mapper, per-(circuit, method) fan-out in the experiment harness) runs
+// through this package, so the concurrency rules live in one place:
+//
+//   - Work items are claimed in index order and each item is computed by
+//     exactly one goroutine; results land in a slice indexed by item, so
+//     output order never depends on scheduling.
+//   - The first failure (lowest item index) wins: its error is returned
+//     and the shared context is cancelled so in-flight siblings can stop
+//     early. Items not yet claimed are skipped.
+//   - A panic in a worker is captured and re-raised in the caller's
+//     goroutine (lowest index first), preserving the sequential contract
+//     that a panicking item takes the whole call down.
+//   - workers <= 1 (or n <= 1) runs every item inline on the calling
+//     goroutine with no pool at all, byte-for-byte reproducing the
+//     sequential behavior.
+//
+// Determinism contract: callers must make each item's computation a pure
+// function of its inputs (no shared mutable state, no map-iteration-order
+// dependence). Under that contract the results are identical for every
+// worker count.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Workers option: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// capturedPanic carries a worker panic to the calling goroutine.
+type capturedPanic struct {
+	value any
+	stack []byte
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines and returns the error of the lowest failing index, or the
+// context's error if it was cancelled before all items ran. On the first
+// failure the context passed to still-running items is cancelled.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Inline sequential path: exact legacy behavior, zero goroutines.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next   atomic.Int64 // next unclaimed item
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errs   = map[int]error{}
+		panics = map[int]capturedPanic{}
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		errs[i] = err
+		mu.Unlock()
+		cancel()
+	}
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if wctx.Err() != nil {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						stack := make([]byte, 64<<10)
+						stack = stack[:runtime.Stack(stack, false)]
+						mu.Lock()
+						panics[i] = capturedPanic{value: r, stack: stack}
+						mu.Unlock()
+						cancel()
+					}
+				}()
+				if err := fn(wctx, i); err != nil {
+					record(i, err)
+				}
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+
+	// Re-raise the lowest-index panic unless a lower index failed first.
+	panicIdx, errIdx := lowestKey(panics), lowestKey(errs)
+	if panicIdx >= 0 && (errIdx < 0 || panicIdx < errIdx) {
+		p := panics[panicIdx]
+		panic(fmt.Sprintf("exec: worker panic on item %d: %v\n\nworker stack:\n%s", panicIdx, p.value, p.stack))
+	}
+	if errIdx >= 0 {
+		// Prefer the lowest-index intrinsic failure over cancellation noise
+		// from siblings that observed the first error's cancel: the error
+		// identity then matches what a sequential run would report.
+		for i := errIdx; ; i++ {
+			err, ok := errs[i]
+			if !ok {
+				continue
+			}
+			if !errors.Is(err, context.Canceled) || ctx.Err() != nil {
+				return err
+			}
+			if i >= n-1 {
+				break
+			}
+		}
+		return errs[errIdx]
+	}
+	return ctx.Err()
+}
+
+func lowestKey[V any](m map[int]V) int {
+	best := -1
+	for k := range m {
+		if best < 0 || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Map runs fn over [0, n) like ForEach and collects the results in item
+// order. On error the partial slice is discarded and only the error (per
+// ForEach's lowest-index rule) is returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1} {
+		if got := Workers(n); got != want {
+			t.Errorf("Workers(%d) = %d, want GOMAXPROCS = %d", n, got, want)
+		}
+	}
+}
+
+// Results must land in item order for every worker count, and every item
+// must run exactly once.
+func TestMapDeterministicOrder(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		var ran atomic.Int64
+		out, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != n {
+			t.Errorf("workers=%d: ran %d items, want %d", workers, ran.Load(), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// The lowest failing index must win regardless of scheduling, matching
+// what a sequential run would report.
+func TestForEachFirstErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(context.Background(), workers, 50, func(_ context.Context, i int) error {
+			if i == 7 || i == 30 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7 failed" {
+			t.Errorf("workers=%d: err = %v, want item 7's error", workers, err)
+		}
+	}
+}
+
+// After the first error, unclaimed items must be skipped (cancellation).
+func TestForEachCancelsSiblings(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 2, 1000, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() == 1000 {
+		t.Error("no items were skipped after the first error")
+	}
+}
+
+func TestForEachRespectsParentContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := ForEach(ctx, workers, 10, func(context.Context, int) error { return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("workers=%d: panic did not propagate", workers)
+					return
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "item 3") || !strings.Contains(msg, "kaboom") {
+					t.Errorf("workers=%d: panic value %v missing item index or cause", workers, r)
+				}
+			}()
+			_ = ForEach(context.Background(), workers, 10, func(_ context.Context, i int) error {
+				if i == 3 {
+					panic("kaboom")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+// A worker-count of 1 must not spawn goroutines and must stop at the
+// first error without touching later items, like a plain loop.
+func TestSequentialPathStopsAtError(t *testing.T) {
+	var ran int
+	err := ForEach(context.Background(), 1, 10, func(_ context.Context, i int) error {
+		ran++
+		if i == 4 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 5 {
+		t.Errorf("ran = %d, err = %v; want 5 items and an error", ran, err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	out, err := Map(context.Background(), 4, 0, func(context.Context, int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("Map n=0: out=%v err=%v", out, err)
+	}
+}

@@ -2,6 +2,7 @@ package mapper
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func TestMappedBLIFRoundTrip(t *testing.T) {
 	sub, model := subject(t, smallBlif)
 	lib := genlib.Lib2()
-	nl, err := Map(sub, model, Options{Objective: PowerDelay, Library: lib, Relax: 0.3})
+	nl, err := Map(context.Background(), sub, model, Options{Objective: PowerDelay, Library: lib, Relax: Float64(0.3)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestMappedBLIFRoundTrip(t *testing.T) {
 		t.Fatalf("reparse: %v\n%s", err, text)
 	}
 	// The reconstructed network must be equivalent to the subject graph.
-	ok, err := prob.EquivalentOutputs(sub, back)
+	ok, err := prob.EquivalentOutputs(context.Background(), sub, back)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestReadMappedBLIFCycle(t *testing.T) {
 func TestNetlistWriteDot(t *testing.T) {
 	sub, model := subject(t, smallBlif)
 	lib := genlib.Lib2()
-	nl, err := Map(sub, model, Options{Objective: PowerDelay, Library: lib, Relax: 0.3})
+	nl, err := Map(context.Background(), sub, model, Options{Objective: PowerDelay, Library: lib, Relax: Float64(0.3)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"powermap/internal/exec"
 	"powermap/internal/genlib"
 	"powermap/internal/network"
 	"powermap/internal/obs"
@@ -55,9 +57,10 @@ type Options struct {
 	// PORequired gives required times at primary outputs. Outputs not
 	// listed get their minimum achievable arrival multiplied by (1+Relax).
 	PORequired map[string]float64
-	// Relax loosens defaulted required times; 0 demands the fastest
-	// mapping, 0.15 allows 15% slack for cost recovery.
-	Relax float64
+	// Relax loosens defaulted required times as a slack fraction of the
+	// fastest mapping. Nil selects DefaultRelax; Float64(0) demands the
+	// fastest mapping.
+	Relax *float64
 	// AreaTiebreak adds a small area-proportional term (µW per area unit)
 	// to the power cost so pd-map does not spend unbounded area on
 	// negligible power gains; it controls where the flow sits on the
@@ -76,7 +79,19 @@ type Options struct {
 	// generated/pruned, selection passes, node visits). Nil disables
 	// instrumentation.
 	Obs *obs.Scope
+	// Workers bounds the pool used by the curve-construction phase. <= 0
+	// means one worker per CPU; 1 covers nodes sequentially. Curves — and
+	// therefore the mapped netlist — are identical for every worker count.
+	Workers int
 }
+
+// DefaultRelax is the slack fraction applied to defaulted required times
+// when Options.Relax is nil: 15% over the fastest mapping, spendable on
+// area/power recovery.
+const DefaultRelax = 0.15
+
+// Float64 returns a pointer to v, for optional fields like Options.Relax.
+func Float64(v float64) *float64 { return &v }
 
 type selection struct {
 	point    Point
@@ -125,13 +140,18 @@ type state struct {
 	visits  map[*network.Node]int
 	poLoad  float64
 	cdef    float64
+	relax   float64
+	workers int
 	obs     stateObs
 }
 
 // Map covers the NAND2/INV subject network with library gates. The model
 // must have been computed on (or cover) the subject network; it supplies
-// the mapping-independent switching activities E_n of Section 3.1.
-func Map(sub *network.Network, model *prob.Model, opt Options) (*Netlist, error) {
+// the mapping-independent switching activities E_n of Section 3.1. The
+// ctx cancels the run between nodes; the Workers option fans the curve
+// construction out across a pool with curves identical to a sequential
+// run.
+func Map(ctx context.Context, sub *network.Network, model *prob.Model, opt Options) (*Netlist, error) {
 	if opt.Library == nil {
 		return nil, fmt.Errorf("mapper: no library given")
 	}
@@ -161,20 +181,25 @@ func Map(sub *network.Network, model *prob.Model, opt Options) (*Netlist, error)
 		loads:   make(map[*network.Node]float64),
 		visits:  make(map[*network.Node]int),
 		cdef:    opt.Library.DefaultLoad(),
+		relax:   DefaultRelax,
+		workers: exec.Workers(opt.Workers),
 		obs:     newStateObs(opt.Obs),
+	}
+	if opt.Relax != nil {
+		s.relax = *opt.Relax
 	}
 	s.poLoad = opt.OutputLoad
 	if s.poLoad == 0 {
 		s.poLoad = 2 * s.cdef
 	}
 	span := opt.Obs.Start("mapper.curves")
-	err := s.postorder()
+	err := s.postorder(ctx)
 	span.End()
 	if err != nil {
 		return nil, err
 	}
 	span = opt.Obs.Start("mapper.select")
-	err = s.preorder()
+	err = s.preorder(ctx)
 	span.End()
 	if err != nil {
 		return nil, err
@@ -185,8 +210,13 @@ func Map(sub *network.Network, model *prob.Model, opt Options) (*Netlist, error)
 }
 
 // postorder computes the power-delay (or area-delay) curve of every node
-// (Subsection 3.2.1).
-func (s *state) postorder() error {
+// (Subsection 3.2.1). With more than one worker the independent curve
+// computations fan out across the pool: per tree in TreeMode, per
+// topological level on the DAG otherwise. Both schedules only ever read
+// curves of strictly earlier tasks, so the results match the sequential
+// walk exactly.
+func (s *state) postorder(ctx context.Context) error {
+	var internal []*network.Node
 	for _, n := range s.sub.TopoOrder() {
 		if n.IsSource() {
 			arr := 0.0
@@ -196,34 +226,211 @@ func (s *state) postorder() error {
 			s.curves[n] = &Curve{Points: []Point{{Arrival: arr}}}
 			continue
 		}
-		matches := s.matcher.matchesAt(n)
-		if len(matches) == 0 {
-			return fmt.Errorf("mapper: no library match at node %s", n.Name)
+		internal = append(internal, n)
+	}
+	if s.workers <= 1 {
+		for _, n := range internal {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("mapper: %w", err)
+			}
+			c, err := s.curveAt(ctx, n, 1, nil)
+			if err != nil {
+				return err
+			}
+			s.curves[n] = c
 		}
-		s.obs.matchesPerNode.Observe(float64(len(matches)))
-		curve := &Curve{}
-		for _, m := range matches {
-			s.addMatchPoints(curve, n, m)
+		return nil
+	}
+	if s.opt.TreeMode {
+		return s.postorderTrees(ctx, internal)
+	}
+	return s.postorderLevels(ctx, internal)
+}
+
+// postorderLevels schedules the DAG by topological level: every match at a
+// node only reads curves of nodes in its fanin cone, which sit on strictly
+// smaller levels, so all nodes of one level are independent. Curves are
+// installed into s.curves between levels — tasks never write shared state.
+func (s *state) postorderLevels(ctx context.Context, internal []*network.Node) error {
+	level := make(map[*network.Node]int, len(internal))
+	var groups [][]*network.Node
+	for _, n := range internal { // topo order: fanin levels already known
+		l := 0
+		for _, f := range n.Fanin {
+			if !f.IsSource() {
+				if fl := level[f] + 1; fl > l {
+					l = fl
+				}
+			}
 		}
-		generated := len(curve.Points)
-		curve.prune(s.opt.Epsilon)
-		if len(curve.Points) == 0 {
-			return fmt.Errorf("mapper: empty curve at node %s", n.Name)
+		level[n] = l
+		if l == len(groups) {
+			groups = append(groups, nil)
 		}
-		s.obs.nodesCovered.Inc()
-		s.obs.pointsGenerated.Add(int64(generated))
-		s.obs.pointsKept.Add(int64(len(curve.Points)))
-		s.obs.pointsPruned.Add(int64(generated - len(curve.Points)))
-		s.obs.curveSize.Observe(float64(len(curve.Points)))
-		s.curves[n] = curve
+		groups[l] = append(groups[l], n)
+	}
+	for _, g := range groups {
+		budget := s.workers / len(g)
+		curves, err := exec.Map(ctx, s.workers, len(g), func(ctx context.Context, i int) (*Curve, error) {
+			return s.curveAt(ctx, g[i], budget, nil)
+		})
+		if err != nil {
+			return err
+		}
+		for i, c := range curves {
+			s.curves[g[i]] = c
+		}
 	}
 	return nil
 }
 
+// postorderTrees schedules TreeMode by tree: the partition roots every
+// node whose fanout count differs from one, and since tree-mode matches
+// never cross a multi-fanout point, a match's inputs are either earlier
+// nodes of the same tree or roots of whole earlier trees. Trees of one
+// tree-level are covered concurrently; within a task the tree's own
+// in-flight curves live in a task-local overlay until the level barrier.
+func (s *state) postorderTrees(ctx context.Context, internal []*network.Node) error {
+	root := make(map[*network.Node]*network.Node, len(internal))
+	for i := len(internal) - 1; i >= 0; i-- { // reverse topo: fanouts known
+		n := internal[i]
+		if r, ok := singleFanoutRoot(root, n); ok {
+			root[n] = r
+		} else {
+			root[n] = n
+		}
+	}
+	trees := make(map[*network.Node][]*network.Node, len(internal))
+	var roots []*network.Node
+	for _, n := range internal { // topo order within each tree
+		trees[root[n]] = append(trees[root[n]], n)
+		if root[n] == n {
+			// The root is the topmost (hence last) member of its tree, so
+			// this collects roots by tree-completion order: every tree a
+			// later tree reads across the partition is already listed.
+			roots = append(roots, n)
+		}
+	}
+	// A tree's level is one past the deepest tree it reads across the
+	// partition boundary. A cross-tree fanin is always its own tree's
+	// root (a single-fanout fanin of a consumer is in the consumer's
+	// tree), so walking roots in completion order resolves all levels in
+	// one forward pass.
+	treeLevel := make(map[*network.Node]int, len(roots))
+	var groups [][]*network.Node
+	for _, r := range roots {
+		l := 0
+		for _, n := range trees[r] {
+			for _, f := range n.Fanin {
+				if f.IsSource() || root[f] == r {
+					continue
+				}
+				if fl := treeLevel[root[f]] + 1; fl > l {
+					l = fl
+				}
+			}
+		}
+		treeLevel[r] = l
+		for l >= len(groups) {
+			groups = append(groups, nil)
+		}
+		groups[l] = append(groups[l], r)
+	}
+	for _, g := range groups {
+		budget := s.workers / len(g)
+		results, err := exec.Map(ctx, s.workers, len(g), func(ctx context.Context, i int) ([]*Curve, error) {
+			nodes := trees[g[i]]
+			local := make(map[*network.Node]*Curve, len(nodes))
+			out := make([]*Curve, len(nodes))
+			for j, n := range nodes {
+				c, err := s.curveAt(ctx, n, budget, local)
+				if err != nil {
+					return nil, err
+				}
+				local[n] = c
+				out[j] = c
+			}
+			return out, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, cs := range results {
+			for j, n := range trees[g[i]] {
+				s.curves[n] = cs[j]
+			}
+		}
+	}
+	return nil
+}
+
+// singleFanoutRoot resolves the tree root inherited through a node's sole
+// consumer. Nodes whose consumer lies outside the output-reachable order
+// (so no root was recorded for it) start their own tree.
+func singleFanoutRoot(root map[*network.Node]*network.Node, n *network.Node) (*network.Node, bool) {
+	if len(n.Fanout) != 1 {
+		return nil, false
+	}
+	r, ok := root[n.Fanout[0]]
+	return r, ok
+}
+
+// curveAt builds one node's pruned curve. budget > 1 additionally fans the
+// match enumeration out (used when a level has fewer nodes than workers);
+// per-match point slices are concatenated in match order, so the curve fed
+// to prune is identical to the sequential append order.
+func (s *state) curveAt(ctx context.Context, n *network.Node, budget int, local map[*network.Node]*Curve) (*Curve, error) {
+	matches := s.matcher.matchesAt(n)
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("mapper: no library match at node %s", n.Name)
+	}
+	s.obs.matchesPerNode.Observe(float64(len(matches)))
+	curve := &Curve{}
+	if budget > 1 && len(matches) > 1 {
+		parts, err := exec.Map(ctx, budget, len(matches), func(_ context.Context, j int) (*Curve, error) {
+			part := &Curve{}
+			s.addMatchPoints(part, n, matches[j], local)
+			return part, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range parts {
+			curve.Points = append(curve.Points, part.Points...)
+		}
+	} else {
+		for _, m := range matches {
+			s.addMatchPoints(curve, n, m, local)
+		}
+	}
+	generated := len(curve.Points)
+	curve.prune(s.opt.Epsilon)
+	if len(curve.Points) == 0 {
+		return nil, fmt.Errorf("mapper: empty curve at node %s", n.Name)
+	}
+	s.obs.nodesCovered.Inc()
+	s.obs.pointsGenerated.Add(int64(generated))
+	s.obs.pointsKept.Add(int64(len(curve.Points)))
+	s.obs.pointsPruned.Add(int64(generated - len(curve.Points)))
+	s.obs.curveSize.Observe(float64(len(curve.Points)))
+	return curve, nil
+}
+
+// curveOf resolves a node's curve through the task-local overlay used by
+// the per-tree schedule; outside a tree task it reads the shared map.
+func (s *state) curveOf(n *network.Node, local map[*network.Node]*Curve) *Curve {
+	if c, ok := local[n]; ok {
+		return c
+	}
+	return s.curves[n]
+}
+
 // addMatchPoints merges the input curves of one match in their common
 // region and appends the resulting trade-off points (the lower-bound merge
-// of [3] emerges from pruning the union afterwards).
-func (s *state) addMatchPoints(curve *Curve, n *network.Node, m Match) {
+// of [3] emerges from pruning the union afterwards). It only reads input
+// curves (through the optional task-local overlay) and appends to curve,
+// so concurrent calls on disjoint curves are safe.
+func (s *state) addMatchPoints(curve *Curve, n *network.Node, m Match, local map[*network.Node]*Curve) {
 	type inputCtx struct {
 		node   *network.Node
 		curve  *Curve
@@ -248,7 +455,7 @@ func (s *state) addMatchPoints(curve *Curve, n *network.Node, m Match) {
 		p := m.Cell.Pins[pin]
 		ic := inputCtx{
 			node:   node,
-			curve:  s.curves[node],
+			curve:  s.curveOf(node, local),
 			delay:  p.Block + p.Drive*s.cdef,
 			div:    s.fanoutDiv(node),
 			pinIdx: pin,
@@ -343,7 +550,7 @@ func (s *state) fanoutDiv(n *network.Node) float64 {
 // dependent (the unknown-load problem), so selection runs as a small number
 // of relaxation passes: each pass selects under the loads implied by the
 // previous pass's netlist, and the loads are then recomputed exactly.
-func (s *state) preorder() error {
+func (s *state) preorder(ctx context.Context) error {
 	// Fix per-output required times once, using first-pass load estimates.
 	s.loads = s.freshLoads(nil)
 	required := make(map[string]float64, len(s.sub.Outputs))
@@ -356,12 +563,15 @@ func (s *state) preorder() error {
 			req, given = s.opt.PORequired[o.Name]
 		}
 		if !given {
-			req = s.minAchievable(o.Driver) * (1 + s.opt.Relax)
+			req = s.minAchievable(o.Driver) * (1 + s.relax)
 		}
 		required[o.Name] = req
 	}
 	const passes = 3
 	for pass := 0; pass < passes; pass++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("mapper: %w", err)
+		}
 		s.obs.selectPasses.Inc()
 		s.chosen = make(map[*network.Node]*selection)
 		s.visits = make(map[*network.Node]int)

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -21,7 +22,7 @@ func subject(t *testing.T, text string) (*network.Network, *prob.Model) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := decomp.Decompose(nw, decomp.Options{
+	res, err := decomp.Decompose(context.Background(), nw, decomp.Options{
 		Strategy: decomp.MinPower,
 		Style:    huffman.Static,
 	})
@@ -54,7 +55,7 @@ func mapSmall(t *testing.T, opt Options) *Netlist {
 	if opt.Library == nil {
 		opt.Library = genlib.Lib2()
 	}
-	nl, err := Map(sub, model, opt)
+	nl, err := Map(context.Background(), sub, model, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,8 +84,8 @@ func TestMapPowerDelay(t *testing.T) {
 
 func TestPdMapNotWorsePowerThanAdMapWhenRelaxed(t *testing.T) {
 	// With slack available, pd-map must spend it on power, ad-map on area.
-	ad := mapSmall(t, Options{Objective: AreaDelay, Relax: 0.5})
-	pd := mapSmall(t, Options{Objective: PowerDelay, Relax: 0.5})
+	ad := mapSmall(t, Options{Objective: AreaDelay, Relax: Float64(0.5)})
+	pd := mapSmall(t, Options{Objective: PowerDelay, Relax: Float64(0.5)})
 	if pd.Report.PowerUW > ad.Report.PowerUW*1.05+1e-9 {
 		t.Errorf("pd-map power %.3f clearly worse than ad-map %.3f",
 			pd.Report.PowerUW, ad.Report.PowerUW)
@@ -99,8 +100,8 @@ func TestRequiredTimesTradeCost(t *testing.T) {
 	// Tight timing must never be cheaper AND faster to satisfy than loose
 	// timing; loose timing should not be slower than... it can be slower
 	// but not more power-hungry.
-	tight := mapSmall(t, Options{Objective: PowerDelay, Relax: 0})
-	loose := mapSmall(t, Options{Objective: PowerDelay, Relax: 1.0})
+	tight := mapSmall(t, Options{Objective: PowerDelay, Relax: Float64(0)})
+	loose := mapSmall(t, Options{Objective: PowerDelay, Relax: Float64(1.0)})
 	if loose.Report.PowerUW > tight.Report.PowerUW+1e-9 {
 		t.Errorf("loose timing power %.3f exceeds tight timing power %.3f",
 			loose.Report.PowerUW, tight.Report.PowerUW)
@@ -135,7 +136,7 @@ func TestExplicitRequiredTimes(t *testing.T) {
 	sub, model := subject(t, smallBlif)
 	lib := genlib.Lib2()
 	// First find the fastest achievable delay.
-	fast, err := Map(sub, model, Options{Objective: PowerDelay, Library: lib})
+	fast, err := Map(context.Background(), sub, model, Options{Objective: PowerDelay, Library: lib})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestExplicitRequiredTimes(t *testing.T) {
 	for _, o := range sub.Outputs {
 		req[o.Name] = fast.Report.Delay * 2
 	}
-	slow, err := Map(sub, model, Options{Objective: PowerDelay, Library: lib, PORequired: req})
+	slow, err := Map(context.Background(), sub, model, Options{Objective: PowerDelay, Library: lib, PORequired: req})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestMatcherFindsComplexGates(t *testing.T) {
 		t.Error("aoi21 not matched on its own subject graph")
 	}
 	// Full mapping should verify.
-	nl, err := Map(nw, model, Options{Objective: AreaDelay, Library: lib})
+	nl, err := Map(context.Background(), nw, model, Options{Objective: AreaDelay, Library: lib})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestXorLeafDagMatch(t *testing.T) {
 
 func TestNoMatchWithoutLibraryGates(t *testing.T) {
 	sub, model := subject(t, smallBlif)
-	if _, err := Map(sub, model, Options{}); err == nil {
+	if _, err := Map(context.Background(), sub, model, Options{}); err == nil {
 		t.Error("nil library accepted")
 	}
 }
@@ -251,12 +252,12 @@ func TestRandomNetworksMapAndVerify(t *testing.T) {
 	lib := genlib.Lib2()
 	for trial := 0; trial < 10; trial++ {
 		nw := randomNetwork(r, 4, 6)
-		res, err := decomp.Decompose(nw, decomp.Options{Strategy: decomp.MinPower, Style: huffman.Static})
+		res, err := decomp.Decompose(context.Background(), nw, decomp.Options{Strategy: decomp.MinPower, Style: huffman.Static})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, obj := range []Objective{AreaDelay, PowerDelay} {
-			nl, err := Map(res.Network, res.Model, Options{Objective: obj, Library: lib, Relax: 0.3})
+			nl, err := Map(context.Background(), res.Network, res.Model, Options{Objective: obj, Library: lib, Relax: Float64(0.3)})
 			if err != nil {
 				t.Fatalf("trial %d %v: %v", trial, obj, err)
 			}
@@ -271,8 +272,8 @@ func TestPowerMethod2(t *testing.T) {
 	// Method 2 must produce a valid, verified mapping; Method 1 is more
 	// accurate (Section 3.1), so its final power should not be clearly
 	// worse than Method 2's.
-	m1 := mapSmall(t, Options{Objective: PowerDelay, Relax: 0.4})
-	m2 := mapSmall(t, Options{Objective: PowerDelay, Relax: 0.4, PowerMethod2: true})
+	m1 := mapSmall(t, Options{Objective: PowerDelay, Relax: Float64(0.4)})
+	m2 := mapSmall(t, Options{Objective: PowerDelay, Relax: Float64(0.4), PowerMethod2: true})
 	if len(m2.Gates) == 0 {
 		t.Fatal("method 2 mapped nothing")
 	}

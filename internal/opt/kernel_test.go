@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -146,7 +147,7 @@ func TestExtractKernelsRandomPreservesFunction(t *testing.T) {
 		if err := nw.Check(); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		ok, err := prob.EquivalentOutputs(ref, nw)
+		ok, err := prob.EquivalentOutputs(context.Background(), ref, nw)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func TestOptimizeWithKernels(t *testing.T) {
 `
 	nw := mustParse(t, text)
 	ref := nw.Duplicate()
-	st, err := Optimize(nw, Options{EliminateThreshold: -1})
+	st, err := Optimize(context.Background(), nw, Options{EliminateThreshold: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -53,8 +54,10 @@ type Stats struct {
 	LiteralsAfter       int
 }
 
-// Optimize runs the full script on the network in place.
-func Optimize(nw *network.Network, opt Options) (Stats, error) {
+// Optimize runs the full script on the network in place. The script
+// mutates nw as it goes, but every pass leaves the network consistent, so
+// a ctx expiry between passes aborts with nw still usable.
+func Optimize(ctx context.Context, nw *network.Network, opt Options) (Stats, error) {
 	if opt.MaxExtractIterations == 0 {
 		opt.MaxExtractIterations = 100
 	}
@@ -64,6 +67,9 @@ func Optimize(nw *network.Network, opt Options) (Stats, error) {
 	var st Stats
 	st.LiteralsBefore = nw.Stats().Literals
 	for pass := 0; pass < 4; pass++ {
+		if err := ctx.Err(); err != nil {
+			return st, fmt.Errorf("opt: %w", err)
+		}
 		changed := false
 		c, b, err := Sweep(nw)
 		if err != nil {

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,7 +22,7 @@ func mustParse(t *testing.T, text string) *network.Network {
 
 func assertEquivalent(t *testing.T, ref, got *network.Network) {
 	t.Helper()
-	ok, err := prob.EquivalentOutputs(ref, got)
+	ok, err := prob.EquivalentOutputs(context.Background(), ref, got)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestOptimizeScriptPreservesFunction(t *testing.T) {
 `
 	nw := mustParse(t, text)
 	ref := nw.Duplicate()
-	st, err := Optimize(nw, Options{EliminateThreshold: 2})
+	st, err := Optimize(context.Background(), nw, Options{EliminateThreshold: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestOptimizeStrongSimplify(t *testing.T) {
 `
 	nw := mustParse(t, text)
 	ref := nw.Duplicate()
-	st, err := Optimize(nw, Options{EliminateThreshold: -1, StrongSimplify: true})
+	st, err := Optimize(context.Background(), nw, Options{EliminateThreshold: -1, StrongSimplify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestOptimizeRandomNetworksStrong(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		nw := randomNetwork(r, 5, 10)
 		ref := nw.Duplicate()
-		if _, err := Optimize(nw, Options{EliminateThreshold: 3, StrongSimplify: true}); err != nil {
+		if _, err := Optimize(context.Background(), nw, Options{EliminateThreshold: 3, StrongSimplify: true}); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		assertEquivalent(t, ref, nw)
@@ -317,7 +318,7 @@ func TestOptimizeRandomNetworks(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		nw := randomNetwork(r, 5, 10)
 		ref := nw.Duplicate()
-		if _, err := Optimize(nw, Options{EliminateThreshold: 3}); err != nil {
+		if _, err := Optimize(context.Background(), nw, Options{EliminateThreshold: 3}); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		if err := nw.Check(); err != nil {

@@ -15,6 +15,7 @@
 package prob
 
 import (
+	"context"
 	"fmt"
 
 	"powermap/internal/bdd"
@@ -39,6 +40,14 @@ type Model struct {
 // from the outputs (the standard structural ordering heuristic), which
 // keeps related inputs adjacent and the diagrams small.
 func Compute(nw *network.Network, piProb map[string]float64, style huffman.Style) (m *Model, err error) {
+	return ComputeContext(context.Background(), nw, piProb, style)
+}
+
+// ComputeContext is Compute with cancellation: the per-node BDD build loop
+// checks ctx between nodes, so a deadline aborts the estimate promptly even
+// on wide networks. One BDD manager is shared across the whole model, so
+// the build itself stays sequential.
+func ComputeContext(ctx context.Context, nw *network.Network, piProb map[string]float64, style huffman.Style) (m *Model, err error) {
 	m = &Model{
 		Style:   style,
 		mgr:     bdd.New(len(nw.PIs)),
@@ -67,6 +76,9 @@ func Compute(nw *network.Network, piProb map[string]float64, style huffman.Style
 		m.piProb[level] = p
 	}
 	for _, n := range nw.TopoOrder() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("prob: %w", err)
+		}
 		switch n.Kind {
 		case network.PI:
 			m.global[n] = m.mgr.Var(m.piIndex[n])
@@ -207,8 +219,9 @@ func (m *Model) Register(n *network.Node) (bdd.Ref, error) {
 
 // EquivalentOutputs checks that two networks over the same PIs compute
 // identical output functions, by comparing global BDDs in one shared
-// manager. Outputs are matched by name.
-func EquivalentOutputs(a, b *network.Network) (bool, error) {
+// manager. Outputs are matched by name. The ctx is checked between nodes,
+// so a deadline aborts the check mid-build.
+func EquivalentOutputs(ctx context.Context, a, b *network.Network) (bool, error) {
 	if len(a.PIs) != len(b.PIs) {
 		return false, fmt.Errorf("prob: PI count mismatch %d vs %d", len(a.PIs), len(b.PIs))
 	}
@@ -220,6 +233,9 @@ func EquivalentOutputs(a, b *network.Network) (bool, error) {
 	build := func(nw *network.Network) (map[string]bdd.Ref, error) {
 		global := make(map[*network.Node]bdd.Ref)
 		for _, n := range nw.TopoOrder() {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("prob: %w", err)
+			}
 			if n.Kind == network.PI {
 				i, ok := index[n.Name]
 				if !ok {

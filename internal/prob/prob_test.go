@@ -1,6 +1,7 @@
 package prob
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -172,14 +173,14 @@ func TestRegister(t *testing.T) {
 func TestEquivalentOutputs(t *testing.T) {
 	a := mustParse(t, andOrBlif)
 	b := a.Duplicate()
-	ok, err := EquivalentOutputs(a, b)
+	ok, err := EquivalentOutputs(context.Background(), a, b)
 	if err != nil || !ok {
 		t.Fatalf("duplicate not equivalent: %v %v", ok, err)
 	}
 	// Change b's output function.
 	y := b.NodeByName("y")
 	y.Func = sop.FromLiteral(2, 0, true)
-	ok, err = EquivalentOutputs(a, b)
+	ok, err = EquivalentOutputs(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,17 +274,17 @@ func TestEquivalentOutputsMismatches(t *testing.T) {
 	a := mustParse(t, andOrBlif)
 	// Different PI count.
 	b := mustParse(t, ".model x\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
-	if _, err := EquivalentOutputs(a, b); err == nil {
+	if _, err := EquivalentOutputs(context.Background(), a, b); err == nil {
 		t.Error("PI count mismatch accepted")
 	}
 	// Different PI names.
 	c := mustParse(t, ".model x\n.inputs a b q\n.outputs y\n.names a b q y\n111 1\n.end\n")
-	if _, err := EquivalentOutputs(a, c); err == nil {
+	if _, err := EquivalentOutputs(context.Background(), a, c); err == nil {
 		t.Error("PI name mismatch accepted")
 	}
 	// Different output names.
 	d := mustParse(t, ".model x\n.inputs a b c\n.outputs z\n.names a b c z\n111 1\n.end\n")
-	if _, err := EquivalentOutputs(a, d); err == nil {
+	if _, err := EquivalentOutputs(context.Background(), a, d); err == nil {
 		t.Error("output name mismatch accepted")
 	}
 }

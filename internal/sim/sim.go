@@ -14,9 +14,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"powermap/internal/exec"
 	"powermap/internal/mapper"
 	"powermap/internal/network"
 	"powermap/internal/power"
@@ -104,6 +106,106 @@ func ActivitiesFrom(nw *network.Network, src VectorSource, vectors int) (map[*ne
 		}
 	}
 	return out, nil
+}
+
+// mcChunk is the fixed Monte-Carlo chunk length of ActivitiesParallel.
+// The chunk partition depends only on the vector count, never on the
+// worker count, so the merged result is identical for every pool size.
+const mcChunk = 512
+
+// mixSeed derives the RNG seed of one chunk from the base seed with a
+// splitmix64-style finalizer, decorrelating nearby chunk indices.
+func mixSeed(seed int64, chunk int) int64 {
+	z := uint64(seed) + uint64(chunk+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// ActivitiesParallel is Activities fanned out across a worker pool. The
+// vector stream is split into fixed-size chunks, each simulated from its
+// own seed-derived RNG stream, and the integer one/toggle counts are
+// summed. Because the chunking depends only on (vectors, seed), the
+// estimate is bit-identical for every workers value — including 1 — but
+// it samples a different (equally valid) random stream than the
+// single-stream Activities.
+func ActivitiesParallel(ctx context.Context, nw *network.Network, piProb map[string]float64, vectors int, seed int64, workers int) (map[*network.Node]Estimate, error) {
+	if vectors <= 0 {
+		return nil, fmt.Errorf("sim: need a positive vector count, got %d", vectors)
+	}
+	// TopoOrder mutates node scratch flags: compute it once, up front, so
+	// the chunk workers only ever read the network.
+	order := nw.TopoOrder()
+	chunks := (vectors + mcChunk - 1) / mcChunk
+	type counts struct{ ones, toggles []int }
+	parts, err := exec.Map(ctx, exec.Workers(workers), chunks, func(ctx context.Context, c int) (counts, error) {
+		if err := ctx.Err(); err != nil {
+			return counts{}, fmt.Errorf("sim: %w", err)
+		}
+		n := mcChunk
+		if c == chunks-1 {
+			n = vectors - c*mcChunk
+		}
+		cc := counts{ones: make([]int, len(order)), toggles: make([]int, len(order))}
+		simChunk(order, IndependentSource(nw, piProb, mixSeed(seed, c)), n, cc.ones, cc.toggles)
+		return cc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[*network.Node]Estimate, len(order))
+	for i, n := range order {
+		ones, toggles := 0, 0
+		for _, cc := range parts {
+			ones += cc.ones[i]
+			toggles += cc.toggles[i]
+		}
+		out[n] = Estimate{
+			Prob1:    float64(ones) / float64(vectors),
+			Activity: float64(toggles) / float64(vectors),
+		}
+	}
+	return out, nil
+}
+
+// simChunk simulates `vectors` vector pairs over a precomputed topological
+// order, accumulating one/toggle counts into the per-order-index slices.
+// It only reads the network, so chunks may run concurrently.
+func simChunk(order []*network.Node, src VectorSource, vectors int, ones, toggles []int) {
+	idx := make(map[*network.Node]int, len(order))
+	for i, n := range order {
+		idx[n] = i
+	}
+	prev := make(map[*network.Node]bool)
+	cur := make(map[*network.Node]bool)
+	named := make(map[string]bool)
+	draw := func(dst map[*network.Node]bool) {
+		src(named)
+		for _, n := range order {
+			if n.Kind == network.PI {
+				dst[n] = named[n.Name]
+				continue
+			}
+			assign := make([]bool, len(n.Fanin))
+			for i, f := range n.Fanin {
+				assign[i] = dst[f]
+			}
+			dst[n] = n.Func.Eval(assign)
+		}
+	}
+	draw(prev)
+	for v := 0; v < vectors; v++ {
+		draw(cur)
+		for _, n := range order {
+			if cur[n] {
+				ones[idx[n]]++
+			}
+			if cur[n] != prev[n] {
+				toggles[idx[n]]++
+			}
+		}
+		prev, cur = cur, prev
+	}
 }
 
 // GlitchReport is the outcome of a glitch-aware netlist simulation.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -92,12 +93,12 @@ func TestActivitiesDeterministic(t *testing.T) {
 func mapTest(t *testing.T) (*mapper.Netlist, *network.Network) {
 	t.Helper()
 	nw := mustParse(t, testBlif)
-	d, err := decomp.Decompose(nw, decomp.Options{Strategy: decomp.MinPower, Style: huffman.Static})
+	d, err := decomp.Decompose(context.Background(), nw, decomp.Options{Strategy: decomp.MinPower, Style: huffman.Static})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl, err := mapper.Map(d.Network, d.Model, mapper.Options{
-		Objective: mapper.PowerDelay, Library: genlib.Lib2(), Relax: 0.3,
+	nl, err := mapper.Map(context.Background(), d.Network, d.Model, mapper.Options{
+		Objective: mapper.PowerDelay, Library: genlib.Lib2(), Relax: mapper.Float64(0.3),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -170,12 +171,12 @@ func TestXorTreeGlitches(t *testing.T) {
 .end
 `
 	nw := mustParse(t, text)
-	d, err := decomp.Decompose(nw, decomp.Options{Strategy: decomp.MinPower, Style: huffman.Static})
+	d, err := decomp.Decompose(context.Background(), nw, decomp.Options{Strategy: decomp.MinPower, Style: huffman.Static})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl, err := mapper.Map(d.Network, d.Model, mapper.Options{
-		Objective: mapper.AreaDelay, Library: genlib.Lib2(), Relax: 0.5,
+	nl, err := mapper.Map(context.Background(), d.Network, d.Model, mapper.Options{
+		Objective: mapper.AreaDelay, Library: genlib.Lib2(), Relax: mapper.Float64(0.5),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -191,5 +192,45 @@ func TestXorTreeGlitches(t *testing.T) {
 	}
 	if sumT <= sumZ {
 		t.Errorf("xor cascade shows no glitching: %.3f vs %.3f", sumT, sumZ)
+	}
+}
+
+func TestActivitiesParallelDeterministicAcrossWorkers(t *testing.T) {
+	nw := mustParse(t, testBlif)
+	piProb := map[string]float64{"a": 0.3, "b": 0.6, "c": 0.5, "d": 0.8}
+	order := nw.TopoOrder()
+	var want map[*network.Node]Estimate
+	for _, w := range []int{1, 2, 8} {
+		est, err := ActivitiesParallel(context.Background(), nw, piProb, 2000, 7, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if w == 1 {
+			want = est
+			continue
+		}
+		for _, n := range order {
+			if est[n] != want[n] {
+				t.Errorf("workers=%d node %s: %+v != sequential %+v", w, n.Name, est[n], want[n])
+			}
+		}
+	}
+}
+
+func TestActivitiesParallelMatchesBDD(t *testing.T) {
+	nw := mustParse(t, testBlif)
+	piProb := map[string]float64{"a": 0.3, "b": 0.6, "c": 0.5, "d": 0.8}
+	if _, err := prob.Compute(nw, piProb, huffman.Static); err != nil {
+		t.Fatal(err)
+	}
+	est, err := ActivitiesParallel(context.Background(), nw, piProb, 40000, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 0.015
+	for _, n := range nw.TopoOrder() {
+		if math.Abs(est[n].Prob1-n.Prob1) > tol {
+			t.Errorf("node %s: MC prob %.4f vs BDD %.4f", n.Name, est[n].Prob1, n.Prob1)
+		}
 	}
 }

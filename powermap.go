@@ -23,6 +23,7 @@
 package powermap
 
 import (
+	"context"
 	"io"
 
 	"powermap/internal/blif"
@@ -113,12 +114,30 @@ func NewScope(cfg ObsConfig) *Scope { return obs.New(cfg) }
 
 // Synthesize runs the full flow — quick-opt, power-efficient technology
 // decomposition, power-efficient technology mapping — on a copy of the
-// input network.
+// input network. Set Options.Workers to fan the per-node phases out across
+// a worker pool; results are identical for every worker count.
 func Synthesize(nw *Network, o Options) (*Result, error) { return core.Synthesize(nw, o) }
+
+// SynthesizeContext is Synthesize with cancellation: deadlines and
+// cancellation on ctx abort the run between pipeline phases and between
+// nodes inside them.
+func SynthesizeContext(ctx context.Context, nw *Network, o Options) (*Result, error) {
+	return core.SynthesizeContext(ctx, nw, o)
+}
+
+// Float64 returns a pointer to v, for optional fields like Options.Relax.
+func Float64(v float64) *float64 { return core.Float64(v) }
 
 // Verify checks a synthesis result against its source network with exact
 // BDD equivalence.
-func Verify(src *Network, res *Result) error { return core.VerifyAgainstSource(src, res) }
+func Verify(src *Network, res *Result) error {
+	return core.VerifyAgainstSource(context.Background(), src, res)
+}
+
+// VerifyContext is Verify with cancellation.
+func VerifyContext(ctx context.Context, src *Network, res *Result) error {
+	return core.VerifyAgainstSource(ctx, src, res)
+}
 
 // Methods lists the six methods in table order.
 func Methods() []Method { return core.Methods() }
@@ -158,7 +177,9 @@ func EstimateActivities(nw *Network, piProb map[string]float64, style Style) (*p
 
 // Equivalent reports whether two networks over the same primary inputs
 // compute identical outputs (exact, via shared BDDs).
-func Equivalent(a, b *Network) (bool, error) { return prob.EquivalentOutputs(a, b) }
+func Equivalent(a, b *Network) (bool, error) {
+	return prob.EquivalentOutputs(context.Background(), a, b)
+}
 
 // Experiment harness re-exports (see cmd/tables for the CLI).
 type (
@@ -174,9 +195,16 @@ type (
 func Table1(patterns int, seed int64) []Table1Row { return eval.Table1(patterns, seed) }
 
 // RunSuite synthesizes benchmarks with the given methods under common
-// per-circuit timing constraints (the Tables 2/3 protocol).
+// per-circuit timing constraints (the Tables 2/3 protocol). Set
+// base.Workers to fan the (circuit, method) runs out across a pool.
 func RunSuite(methods []Method, base Options, names []string) ([]CircuitRow, error) {
-	return eval.RunSuite(methods, base, names)
+	return eval.RunSuite(context.Background(), methods, base, names)
+}
+
+// RunSuiteContext is RunSuite with cancellation: on expiry the error
+// reports how many of the suite's runs completed.
+func RunSuiteContext(ctx context.Context, methods []Method, base Options, names []string) ([]CircuitRow, error) {
+	return eval.RunSuite(ctx, methods, base, names)
 }
 
 // Summarize computes the Section 4 summary ratios from six-method rows.
