@@ -27,9 +27,10 @@ short:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Brief fuzzing of the three parsers (seed corpora run in plain `make test`).
+# Brief fuzzing of the four parsers (seed corpora run in plain `make test`).
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/blif/
+	$(GO) test -fuzz=FuzzParseCover -fuzztime=20s ./internal/sop/
 	$(GO) test -fuzz=FuzzParseExpr -fuzztime=20s ./internal/genlib/
 	$(GO) test -fuzz=FuzzParseGenlib -fuzztime=20s ./internal/genlib/
 

@@ -419,6 +419,30 @@ func (m *Manager) Eval(f Ref, assign []bool) bool {
 	return f == True
 }
 
+// AnySat returns one satisfying assignment of f as a cube over all numVars
+// variables (don't-care for variables not tested on the chosen path), or
+// (nil, false) when f is unsatisfiable. The walk prefers the lo branch, so
+// the witness is the lexicographically smallest path in {lo, hi} order; any
+// non-False node has at least one branch leading to True by ROBDD
+// reducedness.
+func (m *Manager) AnySat(f Ref) (sop.Cube, bool) {
+	if f == False {
+		return nil, false
+	}
+	cube := sop.NewCube(m.numVars)
+	for f != True {
+		n := m.nodes[f]
+		if n.lo != False {
+			cube[n.level] = sop.Neg
+			f = n.lo
+		} else {
+			cube[n.level] = sop.Pos
+			f = n.hi
+		}
+	}
+	return cube, true
+}
+
 // CondProb returns P(f=1 | g=1) under independent variable probabilities,
 // computed as P(f·g)/P(g). It returns 0 when P(g)=0.
 func (m *Manager) CondProb(f, g Ref, p1 []float64) float64 {

@@ -130,6 +130,11 @@ type Options struct {
 	PORequired map[string]float64
 	// Env overrides the electrical operating point.
 	Env power.Environment
+	// CurveAudit is forwarded to the mapper: when non-nil it observes every
+	// internal node's pruned power-delay curve as it is installed, on the
+	// coordinator goroutine. The verification layer uses it to check curve
+	// invariants in-flight.
+	CurveAudit func(*network.Node, *mapper.Curve)
 	// Obs is the observability scope threaded through every pipeline
 	// stage (decomp, mapper, bdd, timing). Nil — the default — disables
 	// all instrumentation at near-zero cost.
@@ -226,6 +231,7 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 		PORequired:   o.PORequired,
 		Relax:        o.Relax,
 		PowerMethod2: o.PowerMethod2,
+		CurveAudit:   o.CurveAudit,
 		Obs:          sc,
 		Workers:      o.Workers,
 	})

@@ -24,6 +24,7 @@ import (
 	"powermap/internal/exec"
 	"powermap/internal/huffman"
 	"powermap/internal/power"
+	"powermap/internal/verify"
 )
 
 // Table1Row is one row of Table 1.
@@ -160,8 +161,14 @@ func RunSuite(ctx context.Context, methods []core.Method, base core.Options, nam
 		o.Method = methods[k.mi]
 		o.PORequired = reqs[k.ci]
 		o.Workers = inner
-		res, err := core.SynthesizeContext(ctx, b.Build(), o)
+		src := b.Build()
+		res, err := core.SynthesizeContext(ctx, src, o)
 		if err != nil {
+			return power.Report{}, fmt.Errorf("eval: %s method %v: %w", b.Name, methods[k.mi], err)
+		}
+		// Every benchmark run is self-verifying: prove source ≡ optimized ≡
+		// decomposed ≡ mapped and the report consistent before reporting it.
+		if err := verify.CheckResult(ctx, src, res); err != nil {
 			return power.Report{}, fmt.Errorf("eval: %s method %v: %w", b.Name, methods[k.mi], err)
 		}
 		done.Add(1)

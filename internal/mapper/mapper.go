@@ -75,6 +75,13 @@ type Options struct {
 	// load, suffering the unknown-load problem). Provided for the
 	// Method 1 vs Method 2 ablation.
 	PowerMethod2 bool
+	// CurveAudit, when non-nil, is invoked with every internal node's
+	// pruned power-delay curve as it is installed. Calls happen on the
+	// coordinator goroutine (never inside worker tasks), so the hook needs
+	// no synchronization of its own; it must not retain or mutate the
+	// curve. Used by the verification layer to check curve invariants
+	// (strictly sorted arrivals, no dominated points) in-flight.
+	CurveAudit func(*network.Node, *Curve)
 	// Obs receives phase spans and mapping metrics (curve points
 	// generated/pruned, selection passes, node visits). Nil disables
 	// instrumentation.
@@ -237,7 +244,7 @@ func (s *state) postorder(ctx context.Context) error {
 			if err != nil {
 				return err
 			}
-			s.curves[n] = c
+			s.install(n, c)
 		}
 		return nil
 	}
@@ -278,7 +285,7 @@ func (s *state) postorderLevels(ctx context.Context, internal []*network.Node) e
 			return err
 		}
 		for i, c := range curves {
-			s.curves[g[i]] = c
+			s.install(g[i], c)
 		}
 	}
 	return nil
@@ -357,7 +364,7 @@ func (s *state) postorderTrees(ctx context.Context, internal []*network.Node) er
 		}
 		for i, cs := range results {
 			for j, n := range trees[g[i]] {
-				s.curves[n] = cs[j]
+				s.install(n, cs[j])
 			}
 		}
 	}
@@ -373,6 +380,17 @@ func singleFanoutRoot(root map[*network.Node]*network.Node, n *network.Node) (*n
 	}
 	r, ok := root[n.Fanout[0]]
 	return r, ok
+}
+
+// install records a finished internal-node curve and feeds the audit hook.
+// It runs only on the coordinator goroutine (worker tasks return curves,
+// they never write shared state), so the hook sees a race-free, per-run
+// deterministic sequence of curves regardless of the worker count.
+func (s *state) install(n *network.Node, c *Curve) {
+	s.curves[n] = c
+	if s.opt.CurveAudit != nil {
+		s.opt.CurveAudit(n, c)
+	}
 }
 
 // curveAt builds one node's pruned curve. budget > 1 additionally fans the

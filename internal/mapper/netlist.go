@@ -189,6 +189,56 @@ func (nl *Netlist) Verify(model *prob.Model) error {
 	return nil
 }
 
+// ToNetwork reconstructs a Boolean network computing exactly what the
+// mapped netlist computes: one internal node per gate, whose local function
+// is the cell's SOP over pin order and whose fanins are the gate's
+// pin-ordered input signals. Primary inputs keep the subject network's
+// declaration order, so the result is directly comparable to the source
+// network with the BDD equivalence checker. (Mapped BLIF uses .gate lines,
+// which the BLIF reader does not interpret, so this is the round-trip path
+// for independent verification.)
+func (nl *Netlist) ToNetwork() (*network.Network, error) {
+	out := network.New(nl.Name)
+	clone := make(map[*network.Node]*network.Node, len(nl.Gates))
+	for _, pi := range nl.sub.PIs {
+		clone[pi] = out.AddPI(pi.Name)
+	}
+	var visit func(n *network.Node) (*network.Node, error)
+	visit = func(n *network.Node) (*network.Node, error) {
+		if c, ok := clone[n]; ok {
+			return c, nil
+		}
+		if n.Kind == network.Constant {
+			c := out.AddConstant(n.Name, n.Func.IsOne())
+			clone[n] = c
+			return c, nil
+		}
+		g := nl.gateByRoot[n]
+		if g == nil {
+			return nil, fmt.Errorf("mapper: signal %s has no gate in the netlist", n.Name)
+		}
+		fanins := make([]*network.Node, len(g.Inputs))
+		for i, in := range g.Inputs {
+			c, err := visit(in)
+			if err != nil {
+				return nil, err
+			}
+			fanins[i] = c
+		}
+		c := out.AddNode(n.Name, fanins, g.Cell.Cover())
+		clone[n] = c
+		return c, nil
+	}
+	for _, o := range nl.sub.Outputs {
+		d, err := visit(o.Driver)
+		if err != nil {
+			return nil, err
+		}
+		out.MarkOutput(o.Name, d)
+	}
+	return out, nil
+}
+
 func exprBDD(mgr *bdd.Manager, e *genlib.Expr, pins map[string]bdd.Ref) bdd.Ref {
 	switch e.Op {
 	case genlib.OpVar:

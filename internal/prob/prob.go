@@ -28,6 +28,7 @@ type Model struct {
 	Style   huffman.Style
 	mgr     *bdd.Manager
 	global  map[*network.Node]bdd.Ref
+	pis     []*network.Node
 	piProb  []float64
 	piIndex map[*network.Node]int
 }
@@ -52,6 +53,7 @@ func ComputeContext(ctx context.Context, nw *network.Network, piProb map[string]
 		Style:   style,
 		mgr:     bdd.New(len(nw.PIs)),
 		global:  make(map[*network.Node]bdd.Ref),
+		pis:     append([]*network.Node(nil), nw.PIs...),
 		piIndex: make(map[*network.Node]int),
 		piProb:  make([]float64, len(nw.PIs)),
 	}
@@ -184,7 +186,16 @@ func (m *Model) JointProb(a, b *network.Node) (float64, error) {
 }
 
 // PIProbs returns the per-PI probability vector in PI declaration order.
-func (m *Model) PIProbs() []float64 { return append([]float64(nil), m.piProb...) }
+// The internal vector is indexed by BDD level (DFS encounter order from the
+// outputs), which generally differs from declaration order, so each entry is
+// remapped through the level index.
+func (m *Model) PIProbs() []float64 {
+	out := make([]float64, len(m.pis))
+	for i, pi := range m.pis {
+		out[i] = m.piProb[m.piIndex[pi]]
+	}
+	return out
+}
 
 // Register makes the model aware of a node created after Compute, whose
 // global function is the AND/OR combination of nodes already known to the

@@ -289,6 +289,25 @@ func TestEquivalentOutputsMismatches(t *testing.T) {
 	}
 }
 
+func TestPIProbsDeclarationOrder(t *testing.T) {
+	// PIs are declared a, b, c but the output cover lists them c, b, a, so
+	// the DFS-from-outputs variable order is the reverse of declaration
+	// order. PIProbs must still come back in declaration order; before the
+	// remap through piIndex it returned the level-ordered vector verbatim.
+	nw := mustParse(t, ".model p\n.inputs a b c\n.outputs y\n.names c b a y\n111 1\n.end\n")
+	m, err := Compute(nw, map[string]float64{"a": 0.1, "b": 0.2, "c": 0.3}, huffman.Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.2, 0.3}
+	got := m.PIProbs()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Fatalf("PIProbs = %v, want %v (declaration order)", got, want)
+		}
+	}
+}
+
 func TestDFSOrderCoversUnreachablePIs(t *testing.T) {
 	// An unreachable PI must still get a variable level.
 	nw := mustParse(t, andOrBlif)

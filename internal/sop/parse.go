@@ -1,0 +1,63 @@
+package sop
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseCube parses one cube in PLA input-plane notation: one character per
+// variable, '1' for a positive literal, '0' for a negative literal, '-' for
+// don't-care ("10-1").
+func ParseCube(s string) (Cube, error) {
+	c := NewCube(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			c[i] = Pos
+		case '0':
+			c[i] = Neg
+		case '-':
+		default:
+			return nil, fmt.Errorf("sop: cube %q: bad literal %q at position %d", s, s[i], i)
+		}
+	}
+	return c, nil
+}
+
+// ParseCover parses the Cover.String format over numVars variables:
+// '+'-separated cubes in PLA notation ("10- + -01"), or "0" for the
+// constant-0 cover. Whitespace around cubes and separators is ignored;
+// every cube must be exactly numVars characters wide.
+//
+// The textual format is ambiguous at numVars == 1: the one-variable
+// negative-literal cube also prints as "0". ParseCover resolves "0" as the
+// constant-0 cover in that case too, so parse(String()) is semantically
+// stable but not injective there.
+func ParseCover(numVars int, s string) (*Cover, error) {
+	if numVars < 0 {
+		return nil, fmt.Errorf("sop: negative variable count %d", numVars)
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("sop: empty cover text")
+	}
+	if s == "0" {
+		return Zero(numVars), nil
+	}
+	f := NewCover(numVars)
+	for _, part := range strings.Split(s, "+") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("sop: empty cube in %q", s)
+		}
+		c, err := ParseCube(part)
+		if err != nil {
+			return nil, err
+		}
+		if len(c) != numVars {
+			return nil, fmt.Errorf("sop: cube %q has %d variables, want %d", part, len(c), numVars)
+		}
+		f.AddCube(c)
+	}
+	return f, nil
+}

@@ -1,0 +1,122 @@
+package sop
+
+import "testing"
+
+func TestParseCoverRoundTrip(t *testing.T) {
+	cases := []struct {
+		n    int
+		text string
+	}{
+		{3, "10- + -01"},
+		{3, "---"},
+		{2, "11"},
+		{4, "1-0- + --11 + 0---"},
+		{1, "1"},
+		{3, "0"},
+		{0, "0"},
+	}
+	for _, tc := range cases {
+		f, err := ParseCover(tc.n, tc.text)
+		if err != nil {
+			t.Fatalf("ParseCover(%d, %q): %v", tc.n, tc.text, err)
+		}
+		if got := f.String(); got != tc.text {
+			t.Errorf("ParseCover(%d, %q).String() = %q", tc.n, tc.text, got)
+		}
+	}
+}
+
+func TestParseCoverWhitespace(t *testing.T) {
+	f, err := ParseCover(3, "  10-+ -01 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != "10- + -01" {
+		t.Errorf("got %q", f.String())
+	}
+}
+
+func TestParseCoverErrors(t *testing.T) {
+	cases := []struct {
+		n    int
+		text string
+	}{
+		{3, ""},
+		{3, "10"},       // wrong width
+		{3, "10-+"},     // trailing empty cube
+		{3, "1x-"},      // bad literal
+		{3, "10- 01-"},  // missing separator
+		{-1, "0"},       // bad variable count
+		{2, "11 + 1-1"}, // mixed widths
+	}
+	for _, tc := range cases {
+		if _, err := ParseCover(tc.n, tc.text); err == nil {
+			t.Errorf("ParseCover(%d, %q) accepted", tc.n, tc.text)
+		}
+	}
+}
+
+func TestParseCoverOneVarZeroCollision(t *testing.T) {
+	// The n=1 negative-literal cube prints as "0", colliding with the
+	// constant-0 cover; the parser resolves the text as constant 0.
+	f, err := ParseCover(1, "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsZero() {
+		t.Errorf("ParseCover(1, \"0\") = %q, want constant 0", f.String())
+	}
+}
+
+// FuzzParseCover exercises the cover parser on arbitrary inputs: it must
+// never panic, and any cover it accepts must have consistent cube widths,
+// survive a String/reparse round trip semantically, and keep its function
+// under Minimize.
+func FuzzParseCover(f *testing.F) {
+	seeds := []struct {
+		n int
+		s string
+	}{
+		{3, "10- + -01"},
+		{3, "0"},
+		{3, "---"},
+		{2, "11"},
+		{4, "1-0- + --11 + 0---"},
+		{1, "1"},
+		{2, "1- + -1"},
+		{5, "10-01 + -1--0"},
+	}
+	for _, s := range seeds {
+		f.Add(s.n, s.s)
+	}
+	f.Fuzz(func(t *testing.T, n int, s string) {
+		if n < 0 || n > 10 {
+			t.Skip() // keep the exhaustive Equal check tractable
+		}
+		c, err := ParseCover(n, s)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if c.NumVars != n {
+			t.Fatalf("accepted cover has %d vars, want %d", c.NumVars, n)
+		}
+		for _, cube := range c.Cubes {
+			if len(cube) != n {
+				t.Fatalf("accepted cube %q has width %d, want %d", cube, len(cube), n)
+			}
+		}
+		text := c.String()
+		back, err := ParseCover(n, text)
+		if err != nil {
+			t.Fatalf("reparse of own output %q failed: %v", text, err)
+		}
+		if !c.Equal(back) {
+			t.Fatalf("round trip changed function: %q -> %q", s, text)
+		}
+		m := c.Clone()
+		m.Minimize()
+		if !m.Equal(c) {
+			t.Fatalf("Minimize changed function of %q: %q", text, m.String())
+		}
+	})
+}

@@ -92,6 +92,35 @@ func TestAnnotateUnitDefaultRequired(t *testing.T) {
 	}
 }
 
+func TestAnnotateUnitNoOutputs(t *testing.T) {
+	// A network with no outputs has zero delay by definition.
+	nw := network.New("empty")
+	nw.AddPI("a")
+	if delay := AnnotateUnit(nw, UnitOptions{}); delay != 0 {
+		t.Errorf("delay = %v, want 0", delay)
+	}
+}
+
+func TestSlackDistributionMixedRequired(t *testing.T) {
+	// Listing only one output in PORequired leaves the others on the
+	// default (latest arrival), so slack distributes per output cone:
+	// the y cone carries the explicit -1 violation while z stays relaxed.
+	nw := mustParse(t, chainBlif)
+	AnnotateUnit(nw, UnitOptions{PORequired: map[string]float64{"y": 2}})
+	for name, want := range map[string]float64{"y": -1, "t2": -1, "t1": -1, "z": 2} {
+		if s := nw.NodeByName(name).Slack(); math.Abs(s-want) > 1e-12 {
+			t.Errorf("slack(%s) = %v, want %v", name, s, want)
+		}
+	}
+	if ws := WorstSlack(nw); math.Abs(ws-(-1)) > 1e-12 {
+		t.Errorf("worst slack = %v, want -1", ws)
+	}
+	// t1 feeds both cones and must take the tighter (negative) requirement.
+	if r := nw.NodeByName("t1").Required; math.Abs(r-0) > 1e-12 {
+		t.Errorf("required(t1) = %v, want 0", r)
+	}
+}
+
 func TestRequiredMinOverFanouts(t *testing.T) {
 	// A node feeding two paths takes the tighter required time.
 	text := `

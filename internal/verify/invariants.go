@@ -1,0 +1,185 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"powermap/internal/huffman"
+	"powermap/internal/mapper"
+	"powermap/internal/network"
+)
+
+// tol absorbs float summation noise in the cost comparisons.
+const tol = 1e-9
+
+// maxOracleLeaves bounds the exhaustive enumeration oracle: (2n-3)!! tree
+// shapes stay tractable through n = 6.
+const maxOracleLeaves = 6
+
+func signalLeaves(probs []float64) []huffman.Signal {
+	leaves := make([]huffman.Signal, len(probs))
+	for i, p := range probs {
+		leaves[i] = huffman.SignalFromProb(p)
+	}
+	return leaves
+}
+
+// CheckHuffmanOptimal verifies the paper's optimality claims for the
+// unbounded constructions against the exhaustive enumeration oracle, for
+// len(probs) ≤ 6 leaves. For quasi-linear algebras (domino styles) Build
+// (Algorithm 2.1) must attain the enumerated optimum exactly (Theorem 2.2);
+// for static CMOS BuildModified (Algorithm 2.2) is a heuristic, so it is
+// only required not to beat the optimum — which would expose an oracle or
+// cost-algebra bug.
+func CheckHuffmanOptimal(gate huffman.Gate, style huffman.Style, probs []float64) error {
+	if len(probs) == 0 {
+		return fmt.Errorf("verify: no leaves")
+	}
+	if len(probs) > maxOracleLeaves {
+		return fmt.Errorf("verify: %d leaves exceed the n<=%d enumeration oracle", len(probs), maxOracleLeaves)
+	}
+	alg := huffman.SignalAlgebra{Gate: gate, Style: style}
+	leaves := signalLeaves(probs)
+	var t *huffman.Tree[huffman.Signal]
+	if alg.QuasiLinear() {
+		t = huffman.Build(alg, leaves)
+	} else {
+		t = huffman.BuildModified(alg, leaves)
+	}
+	got := huffman.TotalCost(alg, t)
+	_, best := huffman.Enumerate(alg, leaves, 0)
+	if got < best-tol {
+		return fmt.Errorf("verify: huffman %v/%v: construction cost %.12g beats enumerated optimum %.12g", gate, style, got, best)
+	}
+	if alg.QuasiLinear() && got > best+tol {
+		return fmt.Errorf("verify: huffman %v/%v: Build cost %.12g exceeds enumerated optimum %.12g (Theorem 2.2 violated)", gate, style, got, best)
+	}
+	return nil
+}
+
+// CheckBoundedHeight verifies the Algorithm 2.3 package-merge invariants
+// for one leaf set and height limit: the tree respects the bound; for
+// quasi-linear algebras its cost never drops below the unbounded optimum,
+// exceeds it only when the bound actually constrains (the unbounded optimum
+// violates the limit), and — when the oracle is tractable — matches the
+// enumerated bounded optimum exactly (Theorem 2.3).
+func CheckBoundedHeight(gate huffman.Gate, style huffman.Style, probs []float64, limit int) error {
+	if len(probs) == 0 {
+		return fmt.Errorf("verify: no leaves")
+	}
+	alg := huffman.SignalAlgebra{Gate: gate, Style: style}
+	leaves := signalLeaves(probs)
+	bounded, err := huffman.BuildBounded(alg, leaves, limit, !alg.QuasiLinear())
+	if err != nil {
+		return fmt.Errorf("verify: huffman %v/%v limit %d: %w", gate, style, limit, err)
+	}
+	if h := bounded.Height(); h > limit {
+		return fmt.Errorf("verify: huffman %v/%v: bounded tree height %d exceeds limit %d", gate, style, h, limit)
+	}
+	if bounded.Leaves() != len(leaves) {
+		return fmt.Errorf("verify: huffman %v/%v: bounded tree has %d leaves, want %d", gate, style, bounded.Leaves(), len(leaves))
+	}
+	if !alg.QuasiLinear() {
+		return nil // greedy baselines carry no optimality guarantee to compare against
+	}
+	costB := huffman.TotalCost(alg, bounded)
+	unbounded := huffman.Build(alg, leaves)
+	costU := huffman.TotalCost(alg, unbounded)
+	if costB < costU-tol {
+		return fmt.Errorf("verify: huffman %v/%v limit %d: bounded cost %.12g beats unbounded optimum %.12g", gate, style, limit, costB, costU)
+	}
+	if unbounded.Height() <= limit && costB > costU+tol {
+		return fmt.Errorf("verify: huffman %v/%v limit %d: bound is slack yet bounded cost %.12g exceeds unbounded %.12g", gate, style, limit, costB, costU)
+	}
+	if len(probs) <= maxOracleLeaves {
+		if _, best := huffman.Enumerate(alg, leaves, limit); costB > best+tol {
+			return fmt.Errorf("verify: huffman %v/%v limit %d: package-merge cost %.12g exceeds enumerated bounded optimum %.12g (Theorem 2.3 violated)", gate, style, limit, costB, best)
+		}
+	}
+	return nil
+}
+
+// CheckCurve verifies a power-delay curve's non-inferiority invariant
+// (Lemma 3.1): at least one point, arrivals strictly increasing, costs
+// strictly decreasing — so no point dominates another.
+func CheckCurve(name string, c *mapper.Curve) error {
+	if c == nil || len(c.Points) == 0 {
+		return fmt.Errorf("verify: curve at %s is empty", name)
+	}
+	for i := 1; i < len(c.Points); i++ {
+		p, q := c.Points[i-1], c.Points[i]
+		if q.Arrival <= p.Arrival {
+			return fmt.Errorf("verify: curve at %s: arrivals not strictly increasing at point %d (%.9g after %.9g)", name, i, q.Arrival, p.Arrival)
+		}
+		if q.Cost >= p.Cost {
+			return fmt.Errorf("verify: curve at %s: point %d (arrival %.9g, cost %.9g) is dominated by point %d (arrival %.9g, cost %.9g)", name, i, q.Arrival, q.Cost, i-1, p.Arrival, p.Cost)
+		}
+	}
+	return nil
+}
+
+// CurveAuditor adapts CheckCurve to the mapper's CurveAudit hook: it
+// records the first violation and counts the curves checked. The mapper
+// calls the hook only on its coordinator goroutine, so no locking is
+// needed; read Err after the run returns.
+type CurveAuditor struct {
+	err     error
+	checked int
+}
+
+// Hook returns the function to install as Options.CurveAudit.
+func (a *CurveAuditor) Hook() func(*network.Node, *mapper.Curve) {
+	return func(n *network.Node, c *mapper.Curve) {
+		a.checked++
+		if a.err == nil {
+			a.err = CheckCurve(n.Name, c)
+		}
+	}
+}
+
+// Err returns the first curve invariant violation, or nil.
+func (a *CurveAuditor) Err() error { return a.err }
+
+// Checked returns the number of curves audited.
+func (a *CurveAuditor) Checked() int { return a.checked }
+
+// CheckNetlist verifies a mapped netlist's report against independent
+// recomputations: the per-signal power breakdown sums to the reported
+// power, the worst output arrival equals the reported delay, the gate
+// areas sum to the reported area, and the gate count matches.
+func CheckNetlist(nl *mapper.Netlist) error {
+	if got := len(nl.Gates); got != nl.Report.Gates {
+		return fmt.Errorf("verify: netlist %s: %d gates, report says %d", nl.Name, got, nl.Report.Gates)
+	}
+	area := 0.0
+	for _, g := range nl.Gates {
+		area += g.Cell.Area
+	}
+	if !closeRel(area, nl.Report.GateArea) {
+		return fmt.Errorf("verify: netlist %s: gate areas sum to %.9g, report says %.9g", nl.Name, area, nl.Report.GateArea)
+	}
+	power := 0.0
+	for _, row := range nl.PowerBreakdown() {
+		power += row.PowerUW
+	}
+	if !closeRel(power, nl.Report.PowerUW) {
+		return fmt.Errorf("verify: netlist %s: power breakdown sums to %.9g uW, report says %.9g", nl.Name, power, nl.Report.PowerUW)
+	}
+	delay := 0.0
+	for _, a := range nl.OutputArrivals() {
+		if a > delay {
+			delay = a
+		}
+	}
+	if !closeRel(delay, nl.Report.Delay) {
+		return fmt.Errorf("verify: netlist %s: worst output arrival %.9g ns, report says %.9g", nl.Name, delay, nl.Report.Delay)
+	}
+	return nil
+}
+
+// closeRel compares with a relative tolerance absorbing summation-order
+// noise (absolute near zero).
+func closeRel(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-6 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"powermap/internal/huffman"
+	"powermap/internal/mapper"
+)
+
+func randProbs(r *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.05 + 0.9*r.Float64()
+	}
+	return p
+}
+
+func TestHuffmanOptimalAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	gates := []huffman.Gate{huffman.GateAnd, huffman.GateOr}
+	styles := []huffman.Style{huffman.DominoP, huffman.DominoN, huffman.Static}
+	for n := 2; n <= 6; n++ {
+		for trial := 0; trial < 8; trial++ {
+			probs := randProbs(r, n)
+			for _, g := range gates {
+				for _, s := range styles {
+					if err := CheckHuffmanOptimal(g, s, probs); err != nil {
+						t.Errorf("n=%d trial=%d: %v", n, trial, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHuffmanOptimalRejectsBadInput(t *testing.T) {
+	if err := CheckHuffmanOptimal(huffman.GateAnd, huffman.DominoP, nil); err == nil {
+		t.Error("empty leaf set accepted")
+	}
+	if err := CheckHuffmanOptimal(huffman.GateAnd, huffman.DominoP, make([]float64, 9)); err == nil {
+		t.Error("oversized leaf set accepted")
+	}
+}
+
+func TestBoundedHeightInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for n := 2; n <= 6; n++ {
+		for trial := 0; trial < 6; trial++ {
+			probs := randProbs(r, n)
+			// From the tightest feasible bound (ceil(log2 n)) to a slack one.
+			for limit := 1; limit <= n; limit++ {
+				if 1<<uint(limit) < n {
+					continue // infeasible bound; BuildBounded rejects it
+				}
+				for _, g := range []huffman.Gate{huffman.GateAnd, huffman.GateOr} {
+					for _, s := range []huffman.Style{huffman.DominoP, huffman.DominoN, huffman.Static} {
+						if err := CheckBoundedHeight(g, s, probs, limit); err != nil {
+							t.Errorf("n=%d limit=%d: %v", n, limit, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBoundedHeightInfeasibleLimit(t *testing.T) {
+	if err := CheckBoundedHeight(huffman.GateAnd, huffman.DominoP, randProbs(rand.New(rand.NewSource(1)), 5), 2); err == nil {
+		t.Error("infeasible height bound accepted")
+	}
+}
+
+func TestCheckCurve(t *testing.T) {
+	good := &mapper.Curve{Points: []mapper.Point{
+		{Arrival: 1.0, Cost: 9.0},
+		{Arrival: 2.0, Cost: 5.0},
+		{Arrival: 3.5, Cost: 1.0},
+	}}
+	if err := CheckCurve("n", good); err != nil {
+		t.Errorf("non-inferior curve rejected: %v", err)
+	}
+	if err := CheckCurve("n", &mapper.Curve{}); err == nil {
+		t.Error("empty curve accepted")
+	}
+	unsorted := &mapper.Curve{Points: []mapper.Point{
+		{Arrival: 2.0, Cost: 5.0},
+		{Arrival: 1.0, Cost: 9.0},
+	}}
+	if err := CheckCurve("n", unsorted); err == nil {
+		t.Error("unsorted curve accepted")
+	}
+	dominated := &mapper.Curve{Points: []mapper.Point{
+		{Arrival: 1.0, Cost: 5.0},
+		{Arrival: 2.0, Cost: 5.0},
+	}}
+	if err := CheckCurve("n", dominated); err == nil {
+		t.Error("dominated point accepted")
+	}
+}
+
+func TestCurveAuditorRecordsFirstViolation(t *testing.T) {
+	var a CurveAuditor
+	hook := a.Hook()
+	nwk := RandomNetwork("aud", RandConfig{Seed: 3, PIs: 3, Nodes: 3})
+	n := nwk.Nodes[0]
+	hook(n, &mapper.Curve{Points: []mapper.Point{{Arrival: 1, Cost: 1}}})
+	if a.Err() != nil || a.Checked() != 1 {
+		t.Fatalf("after good curve: err=%v checked=%d", a.Err(), a.Checked())
+	}
+	hook(n, &mapper.Curve{})
+	first := a.Err()
+	if first == nil {
+		t.Fatal("violation not recorded")
+	}
+	hook(n, &mapper.Curve{Points: []mapper.Point{{Arrival: 2, Cost: 2}, {Arrival: 1, Cost: 3}}})
+	if a.Err() != first {
+		t.Error("first violation not preserved")
+	}
+	if a.Checked() != 3 {
+		t.Errorf("checked = %d, want 3", a.Checked())
+	}
+}

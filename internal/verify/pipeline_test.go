@@ -1,0 +1,136 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"powermap/internal/circuits"
+	"powermap/internal/core"
+	"powermap/internal/genlib"
+)
+
+// TestSynthesizePropertyFuzz drives the whole pipeline over seeded random
+// networks and proves every run end to end: source ≡ optimized ≡ decomposed
+// ≡ mapped, report self-consistent, every curve non-inferior. Modes cycle
+// through DAG/tree partitioning × worker counts {1, 8} and all six methods
+// (covering unbounded and height-bounded decomposition).
+func TestSynthesizePropertyFuzz(t *testing.T) {
+	runs := 200
+	if testing.Short() {
+		runs = 40
+	}
+	methods := core.Methods()
+	ctx := context.Background()
+	totalCurves := 0
+	for seed := 0; seed < runs; seed++ {
+		cfg := RandConfig{
+			Seed:     int64(seed),
+			PIs:      4 + seed%4,  // 4..7
+			Nodes:    8 + seed%9,  // 8..16
+			MaxFanin: 2 + seed%3,  // 2..4
+			Depth:    3 + seed%3,  // 3..5
+			Outputs:  1 + seed%3,  // 1..3
+		}
+		src := RandomNetwork("fuzz", cfg)
+		tree := seed%2 == 1
+		workers := 1
+		if seed%4 >= 2 {
+			workers = 8
+		}
+		var audit CurveAuditor
+		res, err := core.SynthesizeContext(ctx, src, core.Options{
+			Method:     methods[seed%len(methods)],
+			TreeMode:   tree,
+			Workers:    workers,
+			CurveAudit: audit.Hook(),
+		})
+		if err != nil {
+			t.Fatalf("seed %d (tree=%v workers=%d): synthesize: %v", seed, tree, workers, err)
+		}
+		if err := CheckResult(ctx, src, res); err != nil {
+			t.Fatalf("seed %d (tree=%v workers=%d): %v", seed, tree, workers, err)
+		}
+		if audit.Err() != nil {
+			t.Fatalf("seed %d: curve invariant: %v", seed, audit.Err())
+		}
+		// A run may legitimately audit zero curves (quick-opt can collapse a
+		// small network to source-driven outputs); require coverage overall.
+		totalCurves += audit.Checked()
+	}
+	if totalCurves == 0 {
+		t.Fatal("curve audit hook never ran across the whole fuzz sweep")
+	}
+}
+
+// TestBundledCircuitsVerify proves original ≡ decomposed ≡ mapped on every
+// bundled benchmark under both mapping objectives.
+func TestBundledCircuitsVerify(t *testing.T) {
+	ctx := context.Background()
+	methods := []core.Method{core.MethodI, core.MethodVI}
+	for _, b := range circuits.Suite() {
+		if testing.Short() && b.Name != "cm42a" && b.Name != "decod" {
+			continue
+		}
+		src := b.Build()
+		for _, m := range methods {
+			res, err := core.SynthesizeContext(ctx, src, core.Options{Method: m})
+			if err != nil {
+				t.Fatalf("%s/%v: synthesize: %v", b.Name, m, err)
+			}
+			if err := CheckResult(ctx, src, res); err != nil {
+				t.Errorf("%s/%v: %v", b.Name, m, err)
+			}
+		}
+	}
+}
+
+// TestCorruptedNetlistRejected swaps one mapped gate's cell for a
+// functionally different cell with the same pin count and demands the
+// equivalence check reject the reconstruction with a counterexample cube.
+func TestCorruptedNetlistRejected(t *testing.T) {
+	ctx := context.Background()
+	b, err := circuits.ByName("cm42a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := b.Build()
+	res, err := core.SynthesizeContext(ctx, src, core.Options{Method: core.MethodVI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := genlib.Lib2()
+	for _, g := range res.Netlist.Gates {
+		orig := g.Cell
+		for _, c := range lib.Cells {
+			if c == orig || len(c.Pins) != len(orig.Pins) {
+				continue
+			}
+			if c.Cover().Equal(orig.Cover()) {
+				continue // same function (e.g. a different drive strength)
+			}
+			g.Cell = c
+			mapped, err := res.Netlist.ToNetwork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = Equivalent(ctx, src, mapped)
+			if err == nil {
+				// The corruption was masked downstream; restore and try
+				// another injection site.
+				g.Cell = orig
+				continue
+			}
+			var mm *MismatchError
+			if !errors.As(err, &mm) {
+				t.Fatalf("want *MismatchError with counterexample, got %T: %v", err, err)
+			}
+			w := mm.Witness()
+			if src.Eval(w)[mm.Output] == mapped.Eval(w)[mm.Output] {
+				t.Fatalf("counterexample %v does not distinguish output %s", w, mm.Output)
+			}
+			return
+		}
+	}
+	t.Fatal("no cell substitution produced a detectable corruption")
+}

@@ -1,0 +1,166 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"powermap/internal/network"
+	"powermap/internal/sop"
+)
+
+// RandConfig parameterizes RandomNetwork. The zero value of any field
+// selects a sensible default, so RandConfig{Seed: s} is a usable config.
+type RandConfig struct {
+	// Seed drives the generator; equal configs produce identical networks.
+	Seed int64
+	// PIs is the number of primary inputs (default 5).
+	PIs int
+	// Nodes is the number of internal nodes (default 12).
+	Nodes int
+	// MaxFanin bounds each node's fanin count (default 3, minimum 2).
+	MaxFanin int
+	// Depth is the number of logic levels the nodes are layered into
+	// (default 4, clamped to [1, Nodes]).
+	Depth int
+	// Outputs is the number of primary outputs (default 2, clamped to
+	// [1, Nodes]).
+	Outputs int
+}
+
+func (c RandConfig) withDefaults() RandConfig {
+	if c.PIs <= 0 {
+		c.PIs = 5
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 12
+	}
+	if c.MaxFanin < 2 {
+		c.MaxFanin = 3
+	}
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+	if c.Depth > c.Nodes {
+		c.Depth = c.Nodes
+	}
+	if c.Outputs <= 0 {
+		c.Outputs = 2
+	}
+	if c.Outputs > c.Nodes {
+		c.Outputs = c.Nodes
+	}
+	return c
+}
+
+// RandomNetwork builds a seeded random multi-level network: cfg.Nodes
+// internal nodes layered into cfg.Depth levels over cfg.PIs primary
+// inputs, each node a random non-constant SOP over 2..MaxFanin distinct
+// fanins with at least one fanin drawn from the previous level (so the
+// target depth is actually realized). The last level's nodes drive primary
+// outputs first; remaining outputs tap random earlier nodes. Nodes outside
+// every output cone may dangle (real netlists have them too; quick-opt
+// sweeps them). The result is deterministic in cfg and always passes
+// Network.Check.
+func RandomNetwork(name string, cfg RandConfig) *network.Network {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	nw := network.New(name)
+	pis := make([]*network.Node, cfg.PIs)
+	for i := range pis {
+		pis[i] = nw.AddPI(fmt.Sprintf("pi%02d", i))
+	}
+	pool := append([]*network.Node(nil), pis...)
+	prev := pis
+	var last []*network.Node
+	made := 0
+	width := (cfg.Nodes + cfg.Depth - 1) / cfg.Depth
+	for level := 0; level < cfg.Depth && made < cfg.Nodes; level++ {
+		var layer []*network.Node
+		for w := 0; w < width && made < cfg.Nodes; w++ {
+			k := 2
+			if cfg.MaxFanin > 2 {
+				k += r.Intn(cfg.MaxFanin - 1)
+			}
+			fanins := pickFanins(r, prev, pool, k)
+			n := nw.AddNode(fmt.Sprintf("n%03d", made), fanins, randCover(r, len(fanins)))
+			layer = append(layer, n)
+			made++
+		}
+		pool = append(pool, layer...)
+		prev = layer
+		last = layer
+	}
+	// Outputs: the deepest layer first (keeping the target depth visible
+	// from the outputs), then random distinct internal nodes.
+	internal := pool[cfg.PIs:]
+	chosen := make(map[*network.Node]bool, cfg.Outputs)
+	po := 0
+	emit := func(n *network.Node) {
+		if chosen[n] || po >= cfg.Outputs {
+			return
+		}
+		chosen[n] = true
+		nw.MarkOutput(fmt.Sprintf("po%02d", po), n)
+		po++
+	}
+	for _, n := range last {
+		emit(n)
+	}
+	for _, i := range r.Perm(len(internal)) {
+		emit(internal[i])
+	}
+	return nw
+}
+
+// pickFanins selects k distinct fanins, the first from the previous level
+// (forcing a depth chain), the rest from the whole pool.
+func pickFanins(r *rand.Rand, prev, pool []*network.Node, k int) []*network.Node {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	seen := make(map[*network.Node]bool, k)
+	out := make([]*network.Node, 0, k)
+	first := prev[r.Intn(len(prev))]
+	out = append(out, first)
+	seen[first] = true
+	for len(out) < k {
+		n := pool[r.Intn(len(pool))]
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// randCover returns a random non-constant SOP over k variables: 1-3 cubes
+// of at least two literals each (one when k < 2), rejected and redrawn when
+// minimization collapses it to a constant.
+func randCover(r *rand.Rand, k int) *sop.Cover {
+	for {
+		f := sop.NewCover(k)
+		ncubes := 1 + r.Intn(3)
+		for c := 0; c < ncubes; c++ {
+			cube := sop.NewCube(k)
+			nlits := 1
+			if k >= 2 {
+				nlits = 2
+				if k > 2 {
+					nlits += r.Intn(k - 1)
+				}
+			}
+			for _, v := range r.Perm(k)[:nlits] {
+				if r.Intn(2) == 0 {
+					cube[v] = sop.Pos
+				} else {
+					cube[v] = sop.Neg
+				}
+			}
+			f.AddCube(cube)
+		}
+		f.Minimize()
+		if !f.IsZero() && !f.IsOne() {
+			return f
+		}
+	}
+}

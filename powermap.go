@@ -38,6 +38,7 @@ import (
 	"powermap/internal/obs"
 	"powermap/internal/power"
 	"powermap/internal/prob"
+	"powermap/internal/verify"
 )
 
 // Core flow types.
@@ -137,6 +138,36 @@ func Verify(src *Network, res *Result) error {
 // VerifyContext is Verify with cancellation.
 func VerifyContext(ctx context.Context, src *Network, res *Result) error {
 	return core.VerifyAgainstSource(ctx, src, res)
+}
+
+// Formal-verification re-exports (see internal/verify and cmd/pcheck).
+type (
+	// MismatchError is an equivalence disproof with a counterexample cube.
+	MismatchError = verify.MismatchError
+	// RandConfig parameterizes RandomNetwork.
+	RandConfig = verify.RandConfig
+)
+
+// VerifyResult proves a synthesis run end to end with an oracle independent
+// of the pipeline: src ≡ optimized ≡ decomposed ≡ mapped (global ROBDDs
+// rebuilt from scratch) plus report self-consistency. Equivalence failures
+// come back as a *MismatchError carrying a counterexample input.
+func VerifyResult(ctx context.Context, src *Network, res *Result) error {
+	return verify.CheckResult(ctx, src, res)
+}
+
+// ProveEquivalent checks two networks over the same primary inputs for
+// combinational equivalence, returning a *MismatchError with a
+// counterexample cube on disproof (unlike Equivalent, which only reports a
+// boolean verdict).
+func ProveEquivalent(ctx context.Context, ref, impl *Network) error {
+	return verify.Equivalent(ctx, ref, impl)
+}
+
+// RandomNetwork builds a seeded random multi-level network for
+// property-based testing; equal configs produce identical networks.
+func RandomNetwork(name string, cfg RandConfig) *Network {
+	return verify.RandomNetwork(name, cfg)
 }
 
 // Methods lists the six methods in table order.
