@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check short bench fuzz tables verify clean
+.PHONY: all build vet test race check short bench benchcheck fuzz tables verify clean
 
 all: build vet test
 
@@ -26,6 +26,12 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# The pipeline regression gate: rerun the pbench workload and fail on any
+# phase slower than the committed BENCH_pipeline.json baseline beyond the
+# threshold. Regenerate the baseline by committing the rewritten manifest.
+benchcheck:
+	$(GO) run ./cmd/pbench -runs 3 -quick -workers 1 -out BENCH_pipeline.json
 
 # Brief fuzzing of the four parsers (seed corpora run in plain `make test`).
 fuzz:

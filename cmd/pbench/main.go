@@ -1,0 +1,27 @@
+// Command pbench is the pipeline's benchmark-regression harness: it runs
+// the evaluation suite N times under full instrumentation, aggregates
+// per-phase wall time and allocation into a schema-versioned
+// BENCH_pipeline.json manifest, and compares it against a committed
+// baseline, exiting non-zero when a phase regresses beyond the threshold.
+//
+// Usage:
+//
+//	pbench -runs 3 -quick            fast CI workload (cm42a + x2)
+//	pbench -runs 5                   full default workload
+//	pbench -baseline BENCH_pipeline.json -threshold 15
+//	pbench -fail=false               report but never fail (CI visibility mode)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"powermap/internal/cli"
+)
+
+func main() {
+	if err := cli.Pbench(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pbench:", err)
+		os.Exit(1)
+	}
+}

@@ -9,7 +9,8 @@
 //	pmap -blif circuit.blif -method VI
 //	pmap -circuit alu2 -method IV -style static -relax 0.2 -gates
 //	pmap -circuit s208 -method I -recover -write mapped.blif
-//	pmap -circuit cm42a -v -stats stats.json -cpuprofile cpu.pprof
+//	pmap -circuit cm42a -v -stats -stats-out stats.json -trace trace.json
+//	pmap -circuit alu2 -method VI -serve :9090
 package main
 
 import (

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"powermap/internal/core"
+)
+
+func manifestPair() (baseline, current *Manifest) {
+	baseline = &Manifest{
+		Schema:   SchemaVersion,
+		Circuits: []string{"x2"},
+		Methods:  []string{"I"},
+		WallNs:   100e6,
+		Phases: map[string]PhaseStat{
+			"decompose": {Spans: 1, WallNs: 40e6},
+			"map":       {Spans: 1, WallNs: 50e6},
+			"gone":      {Spans: 1, WallNs: 1e6},
+		},
+	}
+	current = &Manifest{
+		Schema:   SchemaVersion,
+		Circuits: []string{"x2"},
+		Methods:  []string{"I"},
+		WallNs:   105e6,
+		Phases: map[string]PhaseStat{
+			"decompose": {Spans: 1, WallNs: 60e6}, // +50%: regression
+			"map":       {Spans: 1, WallNs: 30e6}, // -40%: improvement
+			"fresh":     {Spans: 1, WallNs: 5e6},  // new phase
+		},
+	}
+	return baseline, current
+}
+
+func TestCompareRegressionAndImprovement(t *testing.T) {
+	baseline, current := manifestPair()
+	cmp := Compare(baseline, current, 25, 1)
+	if cmp.Err != nil {
+		t.Fatal(cmp.Err)
+	}
+	regs := cmp.Regressions()
+	if len(regs) != 1 || regs[0].Phase != "decompose" {
+		t.Fatalf("regressions = %+v, want exactly decompose", regs)
+	}
+	if regs[0].Pct < 49 || regs[0].Pct > 51 {
+		t.Errorf("decompose pct = %.1f, want ~50", regs[0].Pct)
+	}
+	// Worst regression sorts first.
+	if cmp.Deltas[0].Phase != "decompose" {
+		t.Errorf("deltas[0] = %+v, want decompose first", cmp.Deltas[0])
+	}
+	// The improvement is present but not a regression.
+	var mapDelta *Delta
+	for i := range cmp.Deltas {
+		if cmp.Deltas[i].Phase == "map" {
+			mapDelta = &cmp.Deltas[i]
+		}
+	}
+	if mapDelta == nil || mapDelta.Regressed || mapDelta.Pct > -39 {
+		t.Errorf("map delta = %+v, want ~-40%% not regressed", mapDelta)
+	}
+	if len(cmp.MissingInBaseline) != 1 || cmp.MissingInBaseline[0] != "fresh" {
+		t.Errorf("MissingInBaseline = %v", cmp.MissingInBaseline)
+	}
+	if len(cmp.MissingInCurrent) != 1 || cmp.MissingInCurrent[0] != "gone" {
+		t.Errorf("MissingInCurrent = %v", cmp.MissingInCurrent)
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	baseline, current := manifestPair()
+	// With the floor above every phase, nothing can regress.
+	cmp := Compare(baseline, current, 25, 1e12)
+	if cmp.Err != nil {
+		t.Fatal(cmp.Err)
+	}
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Errorf("regressions above an impossible floor: %+v", regs)
+	}
+	// The default floor (50ms) still catches the 60ms decompose phase.
+	cmp = Compare(baseline, current, 25, 0)
+	if len(cmp.Regressions()) != 1 {
+		t.Errorf("default floor missed the real regression: %+v", cmp.Deltas)
+	}
+}
+
+func TestCompareIdenticalManifests(t *testing.T) {
+	baseline, _ := manifestPair()
+	cmp := Compare(baseline, baseline, 0, 0)
+	if cmp.Err != nil {
+		t.Fatal(cmp.Err)
+	}
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Errorf("self-comparison reported regressions: %+v", regs)
+	}
+	for _, d := range cmp.Deltas {
+		if d.Pct != 0 {
+			t.Errorf("self-comparison delta %s = %.1f%%", d.Phase, d.Pct)
+		}
+	}
+}
+
+func TestCompareMismatches(t *testing.T) {
+	baseline, current := manifestPair()
+	current.Schema = SchemaVersion + 1
+	if cmp := Compare(baseline, current, 0, 0); cmp.Err == nil {
+		t.Error("schema mismatch not rejected")
+	}
+	_, current = manifestPair()
+	current.Circuits = []string{"alu2"}
+	if cmp := Compare(baseline, current, 0, 0); cmp.Err == nil {
+		t.Error("workload mismatch not rejected")
+	}
+	_, current = manifestPair()
+	current.Workers = 4
+	if cmp := Compare(baseline, current, 0, 0); cmp.Err == nil {
+		t.Error("workers mismatch not rejected")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m, _ := manifestPair()
+	m.GitRev = "abc123"
+	m.Metrics = map[string]float64{"decomp.nodes_planned": 10}
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GitRev != "abc123" || got.WallNs != m.WallNs || got.Phases["map"] != m.Phases["map"] {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+
+	// A stale schema is rejected on read, not silently mis-compared.
+	m.Schema = SchemaVersion + 7
+	buf.Reset()
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(&buf); err == nil {
+		t.Error("stale schema accepted")
+	}
+
+	// Missing baseline surfaces as os.ErrNotExist.
+	if _, err := ReadManifestFile(filepath.Join(t.TempDir(), "nope.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing baseline error = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestRunSmoke executes the smallest real workload end to end and checks
+// the manifest carries phases and fingerprint metrics.
+func TestRunSmoke(t *testing.T) {
+	m, err := Run(context.Background(), Options{
+		Circuits: []string{"x2"},
+		Methods:  []core.Method{core.MethodI},
+		Runs:     1,
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != SchemaVersion || m.WallNs <= 0 || m.AllocBytes == 0 {
+		t.Errorf("manifest totals: %+v", m)
+	}
+	for _, phase := range []string{"decompose", "map", "eval.run", "eval.reference"} {
+		st, ok := m.Phases[phase]
+		if !ok || st.WallNs <= 0 || st.Spans <= 0 {
+			t.Errorf("phase %q missing or empty: %+v (have %v)", phase, st, m.Phases)
+		}
+	}
+	if m.Metrics["decomp.nodes_planned"] <= 0 {
+		t.Errorf("fingerprint metrics missing: %v", m.Metrics)
+	}
+	// Determinism of the workload fingerprint: a second run must plan the
+	// same node count.
+	m2, err := Run(context.Background(), Options{
+		Circuits: []string{"x2"},
+		Methods:  []core.Method{core.MethodI},
+		Runs:     1,
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics["decomp.nodes_planned"] != m2.Metrics["decomp.nodes_planned"] {
+		t.Errorf("workload fingerprint drifted: %v vs %v", m.Metrics, m2.Metrics)
+	}
+	cmp := Compare(m, m2, 1000, 0) // huge threshold: only comparability is under test
+	if cmp.Err != nil {
+		t.Errorf("back-to-back manifests not comparable: %v", cmp.Err)
+	}
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteManifest writes m as indented JSON.
+func WriteManifest(w io.Writer, m *Manifest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteManifestFile writes m to path, creating or truncating it.
+func WriteManifestFile(path string, m *Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteManifest(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifest parses a manifest and validates its schema version.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("bench: parse manifest: %w", err)
+	}
+	if m.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: manifest schema v%d not supported (want v%d); regenerate the baseline", m.Schema, SchemaVersion)
+	}
+	return &m, nil
+}
+
+// ReadManifestFile reads a manifest from path. A missing file returns
+// os.ErrNotExist (callers treat that as "no baseline yet").
+func ReadManifestFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadManifest(f)
+}

@@ -118,7 +118,7 @@ func TestPmapUsageGoesToErrWriter(t *testing.T) {
 func TestPmapStatsJSON(t *testing.T) {
 	statsPath := filepath.Join(t.TempDir(), "stats.json")
 	var out, errOut bytes.Buffer
-	if err := Pmap([]string{"-circuit", "cm42a", "-method", "VI", "-v", "-stats", statsPath}, &out, &errOut); err != nil {
+	if err := Pmap([]string{"-circuit", "cm42a", "-method", "VI", "-v", "-stats", "-stats-out", statsPath}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 
@@ -179,10 +179,11 @@ func TestPmapStatsJSON(t *testing.T) {
 	}
 }
 
-// -stats - writes the snapshot JSON to the primary writer after the report.
+// -stats-out - writes the snapshot JSON to the primary writer after the
+// report; with no -stats-out it defaults to the error writer.
 func TestPmapStatsToStdout(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if err := Pmap([]string{"-circuit", "cm42a", "-stats", "-"}, &out, &errOut); err != nil {
+	if err := Pmap([]string{"-circuit", "cm42a", "-stats", "-stats-out", "-"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	idx := strings.Index(out.String(), "{")
@@ -195,6 +196,29 @@ func TestPmapStatsToStdout(t *testing.T) {
 	}
 	if len(sn.Spans) == 0 {
 		t.Error("snapshot has no spans")
+	}
+}
+
+// With -stats and no -stats-out the snapshot goes to the error writer,
+// keeping the primary report machine-readable.
+func TestPmapStatsDefaultsToStderr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := Pmap([]string{"-circuit", "cm42a", "-stats"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), `"spans"`) {
+		t.Errorf("snapshot leaked to primary output:\n%s", out.String())
+	}
+	idx := strings.Index(errOut.String(), "{")
+	if idx < 0 {
+		t.Fatalf("no JSON snapshot on the error writer:\n%s", errOut.String())
+	}
+	var sn obs.Snapshot
+	if err := json.Unmarshal([]byte(errOut.String()[idx:]), &sn); err != nil {
+		t.Fatalf("stderr snapshot does not parse: %v", err)
+	}
+	if len(sn.Spans) == 0 {
+		t.Error("stderr snapshot has no spans")
 	}
 }
 
@@ -257,7 +281,7 @@ func TestTablesTable1(t *testing.T) {
 func TestTablesSubsetSummary(t *testing.T) {
 	statsPath := filepath.Join(t.TempDir(), "stats.json")
 	var out, errOut bytes.Buffer
-	if err := Tables([]string{"-table", "summary", "-circuits", "cm42a,alu2", "-stats", statsPath}, &out, &errOut); err != nil {
+	if err := Tables([]string{"-table", "summary", "-circuits", "cm42a,alu2", "-stats", "-stats-out", statsPath}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "pd-map vs ad-map: power") {
@@ -291,5 +315,66 @@ func TestParseHelpers(t *testing.T) {
 	}
 	if _, err := ParseStyle("DOMINO-P"); err != nil {
 		t.Error("case-insensitive style rejected")
+	}
+}
+
+// TestPmapTraceFile is the Perfetto acceptance test: -trace must produce
+// a valid Chrome trace-event file with the pipeline's phase spans and the
+// process/thread metadata Perfetto uses to name lanes.
+func TestPmapTraceFile(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut bytes.Buffer
+	if err := Pmap([]string{"-circuit", "cm42a", "-method", "VI", "-trace", tracePath}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int64          `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	var processNamed bool
+	phases := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ts == nil || *ev.Ts < 0 {
+			t.Fatalf("event %q missing or negative ts", ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				processNamed = true
+			}
+		case "X":
+			if ev.Dur < 0 {
+				t.Errorf("span %q has negative dur", ev.Name)
+			}
+			phases[ev.Name] = true
+		case "i":
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if !processNamed {
+		t.Error("trace missing process_name metadata")
+	}
+	for _, want := range []string{"quick-opt", "decompose", "map", "mapper.curves"} {
+		if !phases[want] {
+			t.Errorf("trace missing phase %q; have %v", want, phases)
+		}
 	}
 }

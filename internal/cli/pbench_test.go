@@ -1,0 +1,98 @@
+package cli
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powermap/internal/bench"
+)
+
+func TestPbenchFreshBaselineThenCompare(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	args := []string{"-runs", "1", "-circuits", "x2", "-methods", "I", "-workers", "1", "-out", out}
+
+	// First run: no baseline yet — records a fresh manifest and succeeds.
+	var stdout, stderr bytes.Buffer
+	if err := Pbench(args, &stdout, &stderr); err != nil {
+		t.Fatalf("first run: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no baseline") {
+		t.Errorf("missing no-baseline notice:\n%s", stderr.String())
+	}
+	if _, err := bench.ReadManifestFile(out); err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+
+	// Second run: compares against the manifest the first run wrote.
+	// -fail=false keeps the test immune to scheduler noise; the comparison
+	// table itself is what's under test.
+	stdout.Reset()
+	stderr.Reset()
+	if err := Pbench(append(args, "-fail=false"), &stdout, &stderr); err != nil {
+		t.Fatalf("second run: %v\n%s", err, stderr.String())
+	}
+	for _, want := range []string{"phase", "baseline", "current", "total"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("comparison table missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestPbenchRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_pipeline.json")
+	base := filepath.Join(dir, "baseline.json")
+	args := []string{"-runs", "1", "-circuits", "x2", "-methods", "I", "-workers", "1"}
+
+	var stdout, stderr bytes.Buffer
+	if err := Pbench(append(args, "-out", base), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the baseline so the real run regresses against it.
+	m, err := bench.ReadManifestFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.WallNs /= 100
+	for name, st := range m.Phases {
+		st.WallNs /= 100
+		m.Phases[name] = st
+	}
+	if err := bench.WriteManifestFile(base, m); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	err = Pbench(append(args, "-out", out, "-baseline", base, "-floor", "0.0001"), &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("synthetic 100x regression not flagged:\n%s", stdout.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error = %v, want a regression report", err)
+	}
+	if !strings.Contains(stdout.String(), "REGRESSED") {
+		t.Errorf("table missing REGRESSED marker:\n%s", stdout.String())
+	}
+
+	// Same regression with -fail=false reports but succeeds.
+	stdout.Reset()
+	if err := Pbench(append(args, "-out", out, "-baseline", base, "-floor", "0.0001", "-fail=false"), &stdout, &stderr); err != nil {
+		t.Errorf("-fail=false still failed: %v", err)
+	}
+}
+
+func TestPbenchWorkloadMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	var stdout, stderr bytes.Buffer
+	if err := Pbench([]string{"-runs", "1", "-circuits", "x2", "-methods", "I", "-workers", "1", "-out", base}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	err := Pbench([]string{"-runs", "1", "-circuits", "x2", "-methods", "IV", "-workers", "1",
+		"-out", filepath.Join(dir, "other.json"), "-baseline", base}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "workload mismatch") {
+		t.Errorf("workload mismatch not rejected: %v", err)
+	}
+}

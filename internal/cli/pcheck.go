@@ -13,6 +13,7 @@ import (
 	"powermap/internal/genlib"
 	"powermap/internal/huffman"
 	"powermap/internal/network"
+	"powermap/internal/obs"
 	"powermap/internal/verify"
 )
 
@@ -43,6 +44,7 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 		inject   = fs.Bool("inject", false, "corrupt one mapped gate before checking; the checker must reject it (self-test, always exits nonzero)")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
+	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,8 +66,10 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sc := tel.scope(errOut)
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
+	ctx = obs.WithScope(ctx, sc)
 	checks := 0
 	if *blifPath != "" || *circuit != "" {
 		src, err := LoadNetwork(*blifPath, *circuit)
@@ -73,7 +77,7 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 			return err
 		}
 		for _, m := range methods {
-			err := checkOne(ctx, out, src, lib, m, st, *tree, relax, *workers, *inject)
+			err := checkOne(ctx, out, src, lib, m, st, *tree, relax, *workers, *inject, sc)
 			if err != nil {
 				return timeoutError(*timeout, err)
 			}
@@ -86,7 +90,7 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 		s := *seed + int64(i)
 		src := verify.RandomNetwork(fmt.Sprintf("rand%04d", s), verify.RandConfig{Seed: s})
 		m := methods[i%len(methods)]
-		err := checkOne(ctx, out, src, lib, m, st, i%2 == 1, relax, *workers, false)
+		err := checkOne(ctx, out, src, lib, m, st, i%2 == 1, relax, *workers, false, sc)
 		if err != nil {
 			return timeoutError(*timeout, err)
 		}
@@ -102,7 +106,7 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 		return fmt.Errorf("nothing to check: need -blif FILE, -circuit NAME, -random N, or -huffman N")
 	}
 	fmt.Fprintln(out, "pcheck: all checks passed")
-	return nil
+	return tel.finish(out, errOut)
 }
 
 // parseMethods resolves a comma-separated method list ("I,VI") or "all".
@@ -133,7 +137,10 @@ func parseMethods(s string) ([]core.Method, error) {
 // consistency. With inject it corrupts the mapped netlist first and demands
 // the checker reject it.
 func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *genlib.Library,
-	m core.Method, st huffman.Style, tree bool, relax *float64, workers int, inject bool) error {
+	m core.Method, st huffman.Style, tree bool, relax *float64, workers int, inject bool, sc *obs.Scope) error {
+	ctx = obs.WithLabels(ctx, "circuit", src.Name, "method", m.String())
+	span := sc.StartCtx(ctx, "pcheck.check")
+	defer span.End()
 	var audit verify.CurveAuditor
 	res, err := core.SynthesizeContext(ctx, src, core.Options{
 		Method:     m,
@@ -143,6 +150,7 @@ func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *gen
 		Workers:    workers,
 		Library:    lib,
 		CurveAudit: audit.Hook(),
+		Obs:        sc,
 	})
 	if err != nil {
 		return fmt.Errorf("%s method %s: synthesize: %w", src.Name, m, err)
@@ -150,10 +158,14 @@ func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *gen
 	if err := audit.Err(); err != nil {
 		return fmt.Errorf("%s method %s: curve invariant: %w", src.Name, m, err)
 	}
+	span.SetAttr("curves_audited", audit.Checked()).SetAttr("gates", res.Report.Gates)
 	if inject {
 		return injectViolation(ctx, out, src, res, lib)
 	}
-	if err := verify.CheckResult(ctx, src, res); err != nil {
+	vspan := sc.StartCtx(ctx, "pcheck.verify")
+	err = verify.CheckResult(ctx, src, res)
+	vspan.End()
+	if err != nil {
 		return fmt.Errorf("%s method %s: %w", src.Name, m, err)
 	}
 	fmt.Fprintf(out, "ok %-8s method %-3s: %d gates equivalent, report consistent, %d curves audited\n",

@@ -50,11 +50,10 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		topPower = fs.Int("top", 0, "print the N most power-hungry signals")
 		workers  = fs.Int("workers", 0, "worker pool size for parallel phases (0 = all CPUs)")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
-		verbose  = fs.Bool("v", false, "log phase spans to stderr as they complete")
-		stats    = fs.String("stats", "", "write a JSON metrics/trace snapshot to this file (\"-\" for stdout)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
+	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,7 +92,7 @@ func Pmap(args []string, out, errOut io.Writer) error {
 			fmt.Fprintf(errOut, "pmap: profile: %v\n", perr)
 		}
 	}()
-	sc := newScope(*verbose, *stats, errOut)
+	sc := tel.scope(errOut)
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
 	res, err := core.SynthesizeContext(ctx, src, core.Options{
@@ -113,7 +112,7 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		return timeoutError(*timeout, err)
 	}
 	if *verify {
-		span := sc.Start("verify-source")
+		span := sc.StartCtx(ctx, "verify-source")
 		err := core.VerifyAgainstSource(ctx, src, res)
 		span.End()
 		if err != nil {
@@ -184,7 +183,7 @@ func Pmap(args []string, out, errOut io.Writer) error {
 			fmt.Fprintf(out, "  %-8s x%d\n", cc.Name, cc.Count)
 		}
 	}
-	return writeStats(sc, *stats, out)
+	return tel.finish(out, errOut)
 }
 
 // timeoutContext returns a context honoring the -timeout flag; d <= 0

@@ -11,6 +11,7 @@ import (
 	"powermap/internal/blif"
 	"powermap/internal/huffman"
 	"powermap/internal/network"
+	"powermap/internal/obs"
 	"powermap/internal/prob"
 	"powermap/internal/sim"
 )
@@ -33,6 +34,7 @@ func Powerest(args []string, out, errOut io.Writer) error {
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
+	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,9 +67,14 @@ func Powerest(args []string, out, errOut io.Writer) error {
 	for _, name := range nw.PINames() {
 		probs[name] = *piProb
 	}
+	sc := tel.scope(errOut)
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
-	if _, err := prob.ComputeContext(ctx, nw, probs, st); err != nil {
+	ctx = obs.WithScope(ctx, sc)
+	span := sc.StartCtx(ctx, "powerest.exact")
+	_, err = prob.ComputeContext(ctx, nw, probs, st)
+	span.End()
+	if err != nil {
 		return timeoutError(*timeout, err)
 	}
 
@@ -90,12 +97,15 @@ func Powerest(args []string, out, errOut io.Writer) error {
 		// -workers 1 (the default) keeps the historical single-stream
 		// sampler; any other value selects the chunked stream, whose
 		// estimate is identical for every pool size.
+		span := sc.StartCtx(ctx, "powerest.montecarlo")
+		span.SetAttr("vectors", *mc).SetAttr("workers", *workers)
 		var est map[*network.Node]sim.Estimate
 		if *workers == 1 {
 			est, err = sim.Activities(nw, probs, *mc, 1)
 		} else {
 			est, err = sim.ActivitiesParallel(ctx, nw, probs, *mc, 1, *workers)
 		}
+		span.End()
 		if err != nil {
 			return timeoutError(*timeout, err)
 		}
@@ -132,5 +142,5 @@ func Powerest(args []string, out, errOut io.Writer) error {
 			fmt.Fprintf(out, "  %-12s P(1)=%.4f  E=%.4f\n", n.Name, n.Prob1, n.Activity)
 		}
 	}
-	return nil
+	return tel.finish(out, errOut)
 }

@@ -1,9 +1,12 @@
 package cli
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -50,37 +53,107 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 	}, nil
 }
 
-// newScope builds the command's observability scope from the -v/-stats
-// flags: nil when both are off (the zero-cost path), logging phase spans
-// to errOut when verbose.
-func newScope(verbose bool, statsPath string, errOut io.Writer) *obs.Scope {
-	if !verbose && statsPath == "" {
-		return nil
-	}
-	cfg := obs.Config{}
-	if verbose {
-		cfg.Logger = slog.New(slog.NewTextHandler(errOut, nil))
-	}
-	return obs.New(cfg)
+// telemetry bundles the observability flags shared by every command
+// (-v, -stats/-stats-out, -trace, -serve, -max-spans) and the scope they
+// configure. Register with addTelemetryFlags, build the scope once with
+// scope(), and call finish() after the run to route the exports.
+type telemetry struct {
+	verbose  *bool
+	stats    *bool
+	statsOut *string
+	trace    *string
+	serve    *string
+	maxSpans *int
+	sc       *obs.Scope
+	built    bool
 }
 
-// writeStats exports the scope's snapshot as JSON to path ("-" means the
-// command's primary output writer).
-func writeStats(sc *obs.Scope, path string, out io.Writer) error {
-	if sc == nil || path == "" {
+// addTelemetryFlags registers the shared observability flags on fs.
+func addTelemetryFlags(fs *flag.FlagSet) *telemetry {
+	t := &telemetry{}
+	t.verbose = fs.Bool("v", false, "log phase spans to stderr as they complete")
+	t.stats = fs.Bool("stats", false, "export a JSON metrics/trace snapshot after the run")
+	t.statsOut = fs.String("stats-out", "", "snapshot destination: a file, \"-\" for stdout (default stderr)")
+	t.trace = fs.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (open in ui.perfetto.dev)")
+	t.serve = fs.String("serve", "", "after the run, serve /metrics, /snapshot, /trace and /debug/pprof on this address (e.g. :9090) until interrupted")
+	t.maxSpans = fs.Int("max-spans", 0, "completed-span ring buffer size (0 = default 16384, negative = unbounded)")
+	return t
+}
+
+// scope builds (once) the scope implied by the flags: nil when every
+// telemetry flag is off, so the pipeline keeps its zero-cost path.
+func (t *telemetry) scope(errOut io.Writer) *obs.Scope {
+	if t.built {
+		return t.sc
+	}
+	t.built = true
+	if !*t.verbose && !*t.stats && *t.trace == "" && *t.serve == "" {
 		return nil
 	}
-	sn := sc.Snapshot()
-	if path == "-" {
-		return sn.WriteJSON(out)
+	cfg := obs.Config{MaxSpans: *t.maxSpans}
+	if *t.verbose {
+		cfg.Logger = slog.New(slog.NewTextHandler(errOut, nil))
 	}
+	t.sc = obs.New(cfg)
+	return t.sc
+}
+
+// finish routes the post-run exports: the -stats snapshot to -stats-out
+// (stderr by default, "-" for the primary output writer), the -trace file,
+// and finally the blocking -serve endpoint.
+func (t *telemetry) finish(out, errOut io.Writer) error {
+	if t.sc == nil {
+		return nil
+	}
+	sn := t.sc.Snapshot()
+	if *t.stats {
+		switch *t.statsOut {
+		case "":
+			if err := sn.WriteJSON(errOut); err != nil {
+				return err
+			}
+		case "-":
+			if err := sn.WriteJSON(out); err != nil {
+				return err
+			}
+		default:
+			if err := writeTo(*t.statsOut, sn.WriteJSON); err != nil {
+				return err
+			}
+		}
+	}
+	if *t.trace != "" {
+		if err := writeTo(*t.trace, sn.WriteTraceEvents); err != nil {
+			return err
+		}
+	}
+	if *t.serve != "" {
+		return serveTelemetry(*t.serve, t.sc, errOut)
+	}
+	return nil
+}
+
+// writeTo writes one export to a freshly created file.
+func writeTo(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := sn.WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// serveTelemetry keeps the process alive serving the scope's live
+// telemetry endpoints, so the snapshot can be scraped and the heap/CPU
+// profiled after (or during, when started from another goroutine) a run.
+func serveTelemetry(addr string, sc *obs.Scope, errOut io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errOut, "serving /metrics, /snapshot, /trace and /debug/pprof on http://%s (interrupt to stop)\n", ln.Addr())
+	return http.Serve(ln, sc.Handler())
 }

@@ -27,11 +27,10 @@ func Tables(args []string, out, errOut io.Writer) error {
 		exact    = fs.Bool("exact", false, "use BDD-exact decomposition costs")
 		workers  = fs.Int("workers", 0, "worker pool size for the (circuit, method) runs (0 = all CPUs)")
 		timeout  = fs.Duration("timeout", 0, "abort the suite after this duration (0 = none)")
-		verbose  = fs.Bool("v", false, "log phase spans to stderr as they complete")
-		stats    = fs.String("stats", "", "write a JSON metrics/trace snapshot to this file (\"-\" for stdout)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
+	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,7 +43,7 @@ func Tables(args []string, out, errOut io.Writer) error {
 			fmt.Fprintf(errOut, "tables: profile: %v\n", perr)
 		}
 	}()
-	sc := newScope(*verbose, *stats, errOut)
+	sc := tel.scope(errOut)
 	var names []string
 	if *subset != "" {
 		names = strings.Split(*subset, ",")
@@ -79,7 +78,7 @@ func Tables(args []string, out, errOut io.Writer) error {
 
 	needSuite := runAll || want == "2" || want == "3" || want == "summary"
 	if !needSuite {
-		return writeStats(sc, *stats, out)
+		return tel.finish(out, errOut)
 	}
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
@@ -103,7 +102,7 @@ func Tables(args []string, out, errOut io.Writer) error {
 		fmt.Fprintln(out, "=== Section 4 summary (measured vs paper) ===")
 		fmt.Fprintln(out, eval.FormatSummary(eval.Summarize(rows)))
 	}
-	return writeStats(sc, *stats, out)
+	return tel.finish(out, errOut)
 }
 
 // figure1 reproduces the worked decomposition example.

@@ -183,18 +183,24 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 	}
 	res := &Result{}
 	sc := o.Obs
+	// Carry the scope on the context so context-only layers (the exec
+	// worker pool, nested phases) can instrument; spans started below pick
+	// up the context's track and labels, so a run launched from a labeled
+	// worker task (the eval suite) files its phases under that job.
+	ctx = obs.WithScope(ctx, sc)
 
 	work := nw.Duplicate()
 	if !o.SkipOptimize {
 		// MaxNodeLiterals keeps optimized nodes small, matching the
 		// "relatively simple nodes" the paper attributes to its
 		// fast_extract/quick-decomposition front end (Section 4).
-		span := sc.Start("quick-opt")
+		span := sc.StartCtx(ctx, "quick-opt")
 		st, err := opt.Optimize(ctx, work, opt.Options{
 			EliminateThreshold: o.EliminateThreshold,
 			MaxNodeLiterals:    6,
 			StrongSimplify:     o.StrongSimplify,
 		})
+		span.SetAttr("literals_before", st.LiteralsBefore).SetAttr("literals_after", st.LiteralsAfter)
 		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: optimize: %w", err)
@@ -204,7 +210,8 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 	}
 	res.Optimized = work
 
-	span := sc.Start("decompose")
+	span := sc.StartCtx(ctx, "decompose")
+	span.SetAttr("strategy", o.Decomposition.String()).SetAttr("circuit", work.Name)
 	d, err := decomp.Decompose(ctx, work, decomp.Options{
 		Strategy: o.Decomposition,
 		Style:    o.Style,
@@ -214,13 +221,16 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 		Obs:      sc,
 		Workers:  o.Workers,
 	})
-	span.End()
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("core: decompose: %w", err)
 	}
+	span.SetAttr("subject_nodes", d.Network.Stats().Nodes)
+	span.End()
 	res.Decomp = d
 
-	span = sc.Start("map")
+	span = sc.StartCtx(ctx, "map")
+	span.SetAttr("objective", o.Mapping.String())
 	nl, err := mapper.Map(ctx, d.Network, d.Model, mapper.Options{
 		Objective:    o.Mapping,
 		Library:      o.Library,
@@ -235,11 +245,13 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 		Obs:          sc,
 		Workers:      o.Workers,
 	})
-	span.End()
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("core: map: %w", err)
 	}
-	span = sc.Start("verify-netlist")
+	span.SetAttr("gates", nl.Report.Gates)
+	span.End()
+	span = sc.StartCtx(ctx, "verify-netlist")
 	err = nl.Verify(d.Model)
 	span.End()
 	if err != nil {

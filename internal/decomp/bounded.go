@@ -97,7 +97,7 @@ func conventionalArrivals(ctx context.Context, cp *network.Network, model *prob.
 			nodes = append(nodes, n)
 		}
 	}
-	plans, err := exec.Map(ctx, workers, len(nodes), func(ctx context.Context, i int) (*plan, error) {
+	plans, err := exec.Map(exec.WithLabel(ctx, "decomp.balanced"), workers, len(nodes), func(ctx context.Context, i int) (*plan, error) {
 		return makePlan(cp, model, nodes[i], balOpt)
 	})
 	if err != nil {

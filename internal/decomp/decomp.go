@@ -249,7 +249,7 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 	if err := cp.Check(); err != nil {
 		return nil, fmt.Errorf("decomp: input network: %w", err)
 	}
-	span := sc.Start("decomp.probabilities")
+	span := sc.StartCtx(ctx, "decomp.probabilities")
 	model, err := prob.ComputeContext(ctx, cp, opt.PIProb, opt.Style)
 	span.End()
 	if err != nil {
@@ -260,14 +260,15 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 	// function of the node's own cover and its fanins' probabilities, so
 	// nodes fan out across the pool; index-ordered collection keeps the
 	// plan list in topo order regardless of scheduling.
-	span = sc.Start("decomp.plan-trees")
+	span = sc.StartCtx(ctx, "decomp.plan-trees")
 	var nodes []*network.Node
 	for _, n := range cp.TopoOrder() {
 		if n.Kind == network.Internal {
 			nodes = append(nodes, n)
 		}
 	}
-	plans, err := exec.Map(ctx, workers, len(nodes), func(ctx context.Context, i int) (*plan, error) {
+	span.SetAttr("nodes", len(nodes)).SetAttr("workers", workers)
+	plans, err := exec.Map(exec.WithLabel(ctx, "decomp.plan"), workers, len(nodes), func(ctx context.Context, i int) (*plan, error) {
 		n := nodes[i]
 		n.Func.Minimize()
 		if n.Func.IsZero() || n.Func.IsOne() {
@@ -288,7 +289,7 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 			// (balanced) decomposition would achieve — i.e. bound the
 			// height increase the MINPOWER pass introduced (Section 2.2's
 			// problem statement).
-			span = sc.Start("decomp.slack-targets")
+			span = sc.StartCtx(ctx, "decomp.slack-targets")
 			req, err := conventionalArrivals(ctx, cp, model, opt, workers)
 			span.End()
 			if err != nil {
@@ -296,8 +297,9 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 			}
 			opt.PORequired = req
 		}
-		span = sc.Start("decomp.bounded-redecomp")
+		span = sc.StartCtx(ctx, "decomp.bounded-redecomp")
 		redecomps, err = boundedPass(ctx, cp, model, plans, opt)
+		span.SetAttr("redecompositions", redecomps)
 		span.End()
 		if err != nil {
 			return nil, err
@@ -305,7 +307,7 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 	}
 
 	// Phase 2: materialize the plans as AND2/OR2/INV nodes.
-	span = sc.Start("decomp.materialize")
+	span = sc.StartCtx(ctx, "decomp.materialize")
 	inv := newInvCache(cp)
 	for _, p := range plans {
 		if err := ctx.Err(); err != nil {
@@ -323,14 +325,14 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 	// conversion every AND node contributes a complementary NAND+INV pair
 	// whose domino activities sum to exactly 1, which would make the
 	// metric degenerate.
-	span = sc.Start("decomp.activity")
+	span = sc.StartCtx(ctx, "decomp.activity")
 	totalActivity, err := andOrActivity(ctx, cp, opt)
 	span.End()
 	if err != nil {
 		return nil, err
 	}
 	// Phase 3: convert to the NAND2/INV basis and clean up.
-	span = sc.Start("decomp.nand-convert")
+	span = sc.StartCtx(ctx, "decomp.nand-convert")
 	if err := toNandInv(cp, inv); err != nil {
 		span.End()
 		return nil, err
@@ -348,7 +350,7 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 		return nil, fmt.Errorf("decomp: produced invalid network: %w", err)
 	}
 
-	span = sc.Start("decomp.final-probabilities")
+	span = sc.StartCtx(ctx, "decomp.final-probabilities")
 	final, err := prob.ComputeContext(ctx, cp, opt.PIProb, opt.Style)
 	span.End()
 	if err != nil {
@@ -359,7 +361,7 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 	// PORequired is deliberately not forwarded: the bounded strategy's
 	// required times live in the planned AND-OR unit-delay domain, not the
 	// NAND/INV one, so the subject graph gets the zero-slack normalization.
-	res.Depth = timing.AnnotateUnit(cp, timing.UnitOptions{
+	res.Depth = timing.AnnotateUnitContext(ctx, cp, timing.UnitOptions{
 		PIArrival: opt.PIArrival,
 		Obs:       sc,
 	})

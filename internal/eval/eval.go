@@ -23,6 +23,7 @@ import (
 	"powermap/internal/core"
 	"powermap/internal/exec"
 	"powermap/internal/huffman"
+	"powermap/internal/obs"
 	"powermap/internal/power"
 	"powermap/internal/verify"
 )
@@ -108,6 +109,9 @@ func RunSuite(ctx context.Context, methods []core.Method, base core.Options, nam
 		}
 		suite = filtered
 	}
+	// The scope rides the context so the worker pool (and any phase that
+	// only sees the context) can instrument the fan-out itself.
+	ctx = obs.WithScope(ctx, base.Obs)
 	workers := exec.Workers(base.Workers)
 	inner := base.Workers
 	if workers > 1 {
@@ -126,11 +130,17 @@ func RunSuite(ctx context.Context, methods []core.Method, base core.Options, nam
 	}
 
 	// Stage A: Method-I reference runs fix each circuit's required times.
-	reqs, err := exec.Map(ctx, workers, len(suite), func(ctx context.Context, i int) (map[string]float64, error) {
+	// Every run is tagged with (circuit, method) labels on its context, so
+	// the spans and labeled metrics it emits attribute to that job even when
+	// many runs interleave across the worker pool.
+	reqs, err := exec.Map(exec.WithLabel(ctx, "eval.reference"), workers, len(suite), func(ctx context.Context, i int) (map[string]float64, error) {
 		b := suite[i]
 		o := base
 		o.Method = core.MethodI
 		o.Workers = inner
+		ctx = obs.WithLabels(ctx, "circuit", b.Name, "method", "I", "stage", "reference")
+		span := base.Obs.StartCtx(ctx, "eval.reference")
+		defer span.End()
 		ref, err := core.SynthesizeContext(ctx, b.Build(), o)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s reference run: %w", b.Name, err)
@@ -154,13 +164,17 @@ func RunSuite(ctx context.Context, methods []core.Method, base core.Options, nam
 			tasks = append(tasks, runKey{ci, mi})
 		}
 	}
-	reports, err := exec.Map(ctx, workers, len(tasks), func(ctx context.Context, t int) (power.Report, error) {
+	reports, err := exec.Map(exec.WithLabel(ctx, "eval.suite"), workers, len(tasks), func(ctx context.Context, t int) (power.Report, error) {
 		k := tasks[t]
 		b := suite[k.ci]
 		o := base
 		o.Method = methods[k.mi]
 		o.PORequired = reqs[k.ci]
 		o.Workers = inner
+		mname := methods[k.mi].String()
+		ctx = obs.WithLabels(ctx, "circuit", b.Name, "method", mname)
+		span := base.Obs.StartCtx(ctx, "eval.run")
+		defer span.End()
 		src := b.Build()
 		res, err := core.SynthesizeContext(ctx, src, o)
 		if err != nil {
@@ -171,6 +185,9 @@ func RunSuite(ctx context.Context, methods []core.Method, base core.Options, nam
 		if err := verify.CheckResult(ctx, src, res); err != nil {
 			return power.Report{}, fmt.Errorf("eval: %s method %v: %w", b.Name, methods[k.mi], err)
 		}
+		span.SetAttr("gates", res.Report.Gates).SetAttr("power_uw", res.Report.PowerUW)
+		base.Obs.Counter("eval.runs").With("circuit", b.Name, "method", mname).Inc()
+		base.Obs.Gauge("eval.power_uw").With("circuit", b.Name, "method", mname).Set(res.Report.PowerUW)
 		done.Add(1)
 		return res.Report, nil
 	})

@@ -7,6 +7,7 @@ import (
 
 	"powermap/internal/core"
 	"powermap/internal/huffman"
+	"powermap/internal/obs"
 	"powermap/internal/power"
 )
 
@@ -184,5 +185,68 @@ func TestSuiteNames(t *testing.T) {
 	names := SuiteNames()
 	if len(names) != 17 || names[0] != "s208" || names[len(names)-1] != "ex2" {
 		t.Errorf("suite names: %v", names)
+	}
+}
+
+// TestRunSuiteTelemetryLabels checks satellite instrumentation of the
+// suite: every (circuit, method) run tags its spans and metrics with job
+// labels, and those labels survive the worker-pool fan-out.
+func TestRunSuiteTelemetryLabels(t *testing.T) {
+	sc := obs.New(obs.Config{})
+	base := core.Options{Style: huffman.Static, Obs: sc, Workers: 2}
+	methods := []core.Method{core.MethodI, core.MethodVI}
+	if _, err := RunSuite(context.Background(), methods, base, []string{"cm42a", "x2"}); err != nil {
+		t.Fatal(err)
+	}
+	sn := sc.Snapshot()
+	for _, key := range []string{
+		`eval.runs{circuit="cm42a",method="I"}`,
+		`eval.runs{circuit="cm42a",method="VI"}`,
+		`eval.runs{circuit="x2",method="I"}`,
+		`eval.runs{circuit="x2",method="VI"}`,
+	} {
+		if sn.Counters[key] != 1 {
+			t.Errorf("counter %s = %d, want 1 (have %v)", key, sn.Counters[key], sn.Counters)
+		}
+	}
+	runs, refs := 0, 0
+	for _, sp := range sn.Spans {
+		switch sp.Name {
+		case "eval.run":
+			runs++
+			if sp.Attrs["circuit"] == nil || sp.Attrs["method"] == nil {
+				t.Errorf("eval.run span missing job labels: %#v", sp.Attrs)
+			}
+			if sp.Attrs["gates"] == nil {
+				t.Errorf("eval.run span missing gates attr: %#v", sp.Attrs)
+			}
+		case "eval.reference":
+			refs++
+			if sp.Attrs["stage"] != "reference" {
+				t.Errorf("reference span attrs = %#v", sp.Attrs)
+			}
+		case "decompose", "map":
+			// Pipeline phases inherit the job labels through the context
+			// even when run from a pool worker goroutine.
+			if sp.Attrs["circuit"] == nil {
+				t.Errorf("%s span lost its job label: %#v", sp.Name, sp.Attrs)
+			}
+		}
+	}
+	if runs != 4 {
+		t.Errorf("eval.run spans = %d, want 4", runs)
+	}
+	if refs != 2 {
+		t.Errorf("eval.reference spans = %d, want 2", refs)
+	}
+	// The suite fan-out runs under labeled worker tracks.
+	workerTracks := 0
+	for _, name := range sc.TrackNames() {
+		if strings.HasPrefix(name, "eval.suite/w") || strings.HasPrefix(name, "eval.reference/w") {
+			workerTracks++
+		}
+	}
+	if workerTracks == 0 {
+		t.Errorf("no eval worker tracks allocated: %v", sc.TrackNames())
 	}
 }

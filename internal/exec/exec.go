@@ -31,6 +31,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"powermap/internal/obs"
 )
 
 // Workers resolves a Workers option: values <= 0 mean "one worker per
@@ -40,6 +42,25 @@ func Workers(n int) int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+type labelKey struct{}
+
+// WithLabel names the next pool invocation run under ctx for telemetry:
+// when the context also carries an obs scope (obs.WithScope), each worker
+// goroutine records a "<label>.worker" span on its own virtual track
+// (named "<label>/w<i>"), and items run with that track on their context
+// so nested phase spans nest per worker. The label is consumed by the
+// pool: items run with it cleared, so unlabeled nested pools (e.g.
+// per-match fan-out inside a level worker) stay silent instead of fighting
+// over the worker tracks. An empty label disables worker telemetry.
+func WithLabel(ctx context.Context, label string) context.Context {
+	return context.WithValue(ctx, labelKey{}, label)
+}
+
+func labelFrom(ctx context.Context) string {
+	l, _ := ctx.Value(labelKey{}).(string)
+	return l
 }
 
 // capturedPanic carries a worker panic to the calling goroutine.
@@ -81,14 +102,37 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 		errs   = map[int]error{}
 		panics = map[int]capturedPanic{}
 	)
+	// Worker telemetry: with a scope and a pool label on the context, each
+	// worker goroutine gets its own virtual track (stable across repeated
+	// pool invocations with the same label) and records one span covering
+	// its claim loop, so exporters can attribute pool time per worker. The
+	// label is consumed here — items see it cleared.
+	sc := obs.ScopeFrom(ctx)
+	label := labelFrom(ctx)
+	if label != "" {
+		wctx = WithLabel(wctx, "")
+	}
 	record := func(i int, err error) {
 		mu.Lock()
 		errs[i] = err
 		mu.Unlock()
 		cancel()
 	}
-	worker := func() {
+	worker := func(w int) {
 		defer wg.Done()
+		ictx := wctx
+		var span *obs.Span
+		if sc.Enabled() && label != "" {
+			tid := sc.TrackFor(fmt.Sprintf("%s/w%d", label, w))
+			ictx = obs.WithTrack(wctx, tid)
+			span = sc.StartCtx(ictx, label+".worker")
+			span.SetAttr("worker", w)
+		}
+		items := 0
+		defer func() {
+			span.SetAttr("items", items)
+			span.End()
+		}()
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
@@ -97,6 +141,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 			if wctx.Err() != nil {
 				return
 			}
+			items++
 			func() {
 				defer func() {
 					if r := recover(); r != nil {
@@ -108,7 +153,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 						cancel()
 					}
 				}()
-				if err := fn(wctx, i); err != nil {
+				if err := fn(ictx, i); err != nil {
 					record(i, err)
 				}
 			}()
@@ -116,7 +161,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go worker()
+		go worker(w)
 	}
 	wg.Wait()
 

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"powermap/internal/obs"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -140,5 +142,75 @@ func TestEmptyInput(t *testing.T) {
 	out, err := Map(context.Background(), 4, 0, func(context.Context, int) (int, error) { return 0, nil })
 	if err != nil || len(out) != 0 {
 		t.Errorf("Map n=0: out=%v err=%v", out, err)
+	}
+}
+
+// TestWorkerTelemetry checks the pool's instrumentation contract: with a
+// scope and a label on the context each worker records one span on its own
+// virtual track, the label is consumed so nested pools stay silent, and
+// the per-worker item counts sum to the task count.
+func TestWorkerTelemetry(t *testing.T) {
+	sc := obs.New(obs.Config{})
+	ctx := obs.WithScope(context.Background(), sc)
+	ctx = WithLabel(ctx, "pool")
+	const n = 32
+	err := ForEach(ctx, 4, n, func(ctx context.Context, i int) error {
+		// A nested unlabeled pool must not record worker spans.
+		return ForEach(ctx, 2, 2, func(context.Context, int) error { return nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := 0
+	tracks := map[int64]bool{}
+	for _, sp := range sc.Spans() {
+		if sp.Name != "pool.worker" {
+			t.Fatalf("unexpected span %q (nested pool leaked telemetry?)", sp.Name)
+		}
+		if sp.Track == 0 {
+			t.Error("worker span on the coordinator track")
+		}
+		tracks[sp.Track] = true
+		iv, ok := sp.Attrs["items"].(int64)
+		if !ok {
+			t.Fatalf("worker span missing items attr: %#v", sp.Attrs)
+		}
+		items += int(iv)
+	}
+	if spans := len(sc.Spans()); spans != 4 {
+		t.Errorf("got %d worker spans, want 4", spans)
+	}
+	if len(tracks) != 4 {
+		t.Errorf("workers shared tracks: %v", tracks)
+	}
+	if items != n {
+		t.Errorf("worker item counts sum to %d, want %d", items, n)
+	}
+	names := sc.TrackNames()
+	if len(names) != 4 {
+		t.Errorf("track names = %v", names)
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "pool/w") {
+			t.Errorf("track name %q does not follow label/wN", name)
+		}
+	}
+}
+
+// TestWorkerTelemetryDisabled pins the zero-overhead contract: without a
+// label (or without a scope) the pool records nothing.
+func TestWorkerTelemetryDisabled(t *testing.T) {
+	sc := obs.New(obs.Config{})
+	ctx := obs.WithScope(context.Background(), sc)
+	if err := ForEach(ctx, 4, 8, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if spans := sc.Spans(); len(spans) != 0 {
+		t.Errorf("unlabeled pool recorded spans: %v", spans)
+	}
+	// Label but nil scope: no panic, no telemetry.
+	ctx = WithLabel(context.Background(), "pool")
+	if err := ForEach(ctx, 4, 8, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
 	}
 }

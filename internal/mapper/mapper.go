@@ -199,19 +199,21 @@ func Map(ctx context.Context, sub *network.Network, model *prob.Model, opt Optio
 	if s.poLoad == 0 {
 		s.poLoad = 2 * s.cdef
 	}
-	span := opt.Obs.Start("mapper.curves")
+	span := opt.Obs.StartCtx(ctx, "mapper.curves")
+	span.SetAttr("workers", s.workers).SetAttr("tree_mode", opt.TreeMode)
 	err := s.postorder(ctx)
+	span.SetAttr("nodes", len(s.curves))
 	span.End()
 	if err != nil {
 		return nil, err
 	}
-	span = opt.Obs.Start("mapper.select")
+	span = opt.Obs.StartCtx(ctx, "mapper.select")
 	err = s.preorder(ctx)
 	span.End()
 	if err != nil {
 		return nil, err
 	}
-	span = opt.Obs.Start("mapper.extract")
+	span = opt.Obs.StartCtx(ctx, "mapper.extract")
 	defer span.End()
 	return s.extract()
 }
@@ -278,7 +280,7 @@ func (s *state) postorderLevels(ctx context.Context, internal []*network.Node) e
 	}
 	for _, g := range groups {
 		budget := s.workers / len(g)
-		curves, err := exec.Map(ctx, s.workers, len(g), func(ctx context.Context, i int) (*Curve, error) {
+		curves, err := exec.Map(exec.WithLabel(ctx, "mapper.levels"), s.workers, len(g), func(ctx context.Context, i int) (*Curve, error) {
 			return s.curveAt(ctx, g[i], budget, nil)
 		})
 		if err != nil {
@@ -345,7 +347,7 @@ func (s *state) postorderTrees(ctx context.Context, internal []*network.Node) er
 	}
 	for _, g := range groups {
 		budget := s.workers / len(g)
-		results, err := exec.Map(ctx, s.workers, len(g), func(ctx context.Context, i int) ([]*Curve, error) {
+		results, err := exec.Map(exec.WithLabel(ctx, "mapper.trees"), s.workers, len(g), func(ctx context.Context, i int) ([]*Curve, error) {
 			nodes := trees[g[i]]
 			local := make(map[*network.Node]*Curve, len(nodes))
 			out := make([]*Curve, len(nodes))

@@ -1,0 +1,80 @@
+package obs
+
+import "context"
+
+type ctxKey int
+
+const (
+	scopeKey ctxKey = iota
+	trackKey
+	labelsKey
+)
+
+// WithScope returns a context carrying the scope, so layers that only see
+// a context (the exec worker pool, deeply nested phases) can still
+// instrument. A nil scope is stored as-is and reads back as nil.
+func WithScope(ctx context.Context, s *Scope) context.Context {
+	return context.WithValue(ctx, scopeKey, s)
+}
+
+// ScopeFrom returns the scope carried by the context, or nil.
+func ScopeFrom(ctx context.Context) *Scope {
+	s, _ := ctx.Value(scopeKey).(*Scope)
+	return s
+}
+
+// WithTrack returns a context whose spans (via StartCtx) land on the given
+// virtual track. Worker pools set this per worker goroutine so nested
+// phase spans nest correctly per worker instead of interleaving on the
+// coordinator track.
+func WithTrack(ctx context.Context, track int64) context.Context {
+	return context.WithValue(ctx, trackKey, track)
+}
+
+// TrackFrom returns the context's virtual track (0, the coordinator, when
+// unset).
+func TrackFrom(ctx context.Context) int64 {
+	t, _ := ctx.Value(trackKey).(int64)
+	return t
+}
+
+// WithLabels returns a context carrying additional alternating key/value
+// label pairs. StartCtx attaches them as span attributes, so everything a
+// labeled job runs — decomposition, mapping, timing — is sliceable by the
+// job's labels (e.g. circuit and method in the experiment suite). A
+// trailing odd key is ignored.
+func WithLabels(ctx context.Context, kv ...string) context.Context {
+	if len(kv) < 2 {
+		return ctx
+	}
+	prev := LabelsFrom(ctx)
+	merged := make([]string, 0, len(prev)+len(kv))
+	merged = append(merged, prev...)
+	merged = append(merged, kv[:len(kv)&^1]...)
+	return context.WithValue(ctx, labelsKey, merged)
+}
+
+// LabelsFrom returns the context's accumulated label pairs (nil when
+// unset). The slice must not be mutated.
+func LabelsFrom(ctx context.Context) []string {
+	l, _ := ctx.Value(labelsKey).([]string)
+	return l
+}
+
+// StartCtx opens a phase span on the context's track and attaches the
+// context's labels as span attributes. It is the preferred Start variant
+// inside the pipeline, where work may run on worker-pool goroutines on
+// behalf of labeled jobs. Returns nil on a nil scope.
+func (s *Scope) StartCtx(ctx context.Context, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	var attrs map[string]any
+	if labels := LabelsFrom(ctx); len(labels) > 0 {
+		attrs = make(map[string]any, len(labels)/2)
+		for i := 0; i+1 < len(labels); i += 2 {
+			attrs[labels[i]] = labels[i+1]
+		}
+	}
+	return s.startOn(TrackFrom(ctx), name, attrs)
+}

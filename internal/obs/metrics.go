@@ -3,11 +3,19 @@ package obs
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
 
-// Metrics is a registry of named counters, gauges, and histograms. All
+// Label is one key/value pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Metrics is a registry of named counters, gauges, and histograms, each
+// optionally refined into labeled series via the handles' With method. All
 // methods are safe for concurrent use and safe on a nil receiver (they
 // return nil handles, whose methods are in turn no-ops).
 type Metrics struct {
@@ -17,66 +25,153 @@ type Metrics struct {
 	histograms map[string]*Histogram
 }
 
+// labelEscaper escapes label values for the canonical series key, which
+// doubles as the Prometheus-style display name (name{k="v",...}).
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// seriesKey builds the canonical registry key: the bare name for an
+// unlabeled series, name{k="v",k2="v2"} (keys sorted) otherwise.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels combines a base label set with alternating key/value pairs,
+// later pairs overriding earlier keys, and returns the result sorted by
+// key. A trailing odd key is ignored.
+func mergeLabels(base []Label, kv []string) []Label {
+	m := make(map[string]string, len(base)+len(kv)/2)
+	for _, l := range base {
+		m[l.Key] = l.Value
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	out := make([]Label, 0, len(m))
+	for k, v := range m {
+		out = append(out, Label{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Counter returns the counter registered under name, creating it on first
 // use. Returns nil on a nil registry.
-func (m *Metrics) Counter(name string) *Counter {
+func (m *Metrics) Counter(name string) *Counter { return m.counter(name, nil) }
+
+func (m *Metrics) counter(name string, labels []Label) *Counter {
 	if m == nil {
 		return nil
 	}
+	key := seriesKey(name, labels)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.counters == nil {
 		m.counters = make(map[string]*Counter)
 	}
-	c, ok := m.counters[name]
+	c, ok := m.counters[key]
 	if !ok {
-		c = &Counter{}
-		m.counters[name] = c
+		c = &Counter{reg: m, name: name, labels: labels, key: key}
+		m.counters[key] = c
 	}
 	return c
 }
 
 // Gauge returns the gauge registered under name, creating it on first use.
 // Returns nil on a nil registry.
-func (m *Metrics) Gauge(name string) *Gauge {
+func (m *Metrics) Gauge(name string) *Gauge { return m.gauge(name, nil) }
+
+func (m *Metrics) gauge(name string, labels []Label) *Gauge {
 	if m == nil {
 		return nil
 	}
+	key := seriesKey(name, labels)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.gauges == nil {
 		m.gauges = make(map[string]*Gauge)
 	}
-	g, ok := m.gauges[name]
+	g, ok := m.gauges[key]
 	if !ok {
-		g = &Gauge{}
-		m.gauges[name] = g
+		g = &Gauge{reg: m, name: name, labels: labels, key: key}
+		m.gauges[key] = g
 	}
 	return g
 }
 
 // Histogram returns the histogram registered under name, creating it on
 // first use. Returns nil on a nil registry.
-func (m *Metrics) Histogram(name string) *Histogram {
+func (m *Metrics) Histogram(name string) *Histogram { return m.histogram(name, nil) }
+
+func (m *Metrics) histogram(name string, labels []Label) *Histogram {
 	if m == nil {
 		return nil
 	}
+	key := seriesKey(name, labels)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.histograms == nil {
 		m.histograms = make(map[string]*Histogram)
 	}
-	h, ok := m.histograms[name]
+	h, ok := m.histograms[key]
 	if !ok {
-		h = &Histogram{}
-		m.histograms[name] = h
+		h = &Histogram{reg: m, name: name, labels: labels, key: key}
+		m.histograms[key] = h
 	}
 	return h
 }
 
-// Counter is a monotonically increasing (or freely adjusted) integer.
+// Counter is a monotonically increasing (or freely adjusted) integer
+// series.
 type Counter struct {
-	v atomic.Int64
+	v      atomic.Int64
+	reg    *Metrics
+	name   string
+	labels []Label
+	key    string
+}
+
+// With returns the counter series refined by the given alternating
+// key/value label pairs (merged with — and overriding — the receiver's
+// labels). Handles are interned: the same name and label set always
+// returns the same handle, so hot loops should hoist With out of the
+// loop. Nil-safe.
+func (c *Counter) With(kv ...string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.reg.counter(c.name, mergeLabels(c.labels, kv))
+}
+
+// Name returns the series' metric name ("" on nil).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Labels returns the series' sorted label set (nil on nil).
+func (c *Counter) Labels() []Label {
+	if c == nil {
+		return nil
+	}
+	return c.labels
 }
 
 // Add adds delta; no-op on a nil counter.
@@ -97,9 +192,22 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
-// Gauge is a last-write-wins float value.
+// Gauge is a last-write-wins float series.
 type Gauge struct {
-	bits atomic.Uint64
+	bits   atomic.Uint64
+	reg    *Metrics
+	name   string
+	labels []Label
+	key    string
+}
+
+// With returns the gauge series refined by the given label pairs; see
+// Counter.With. Nil-safe.
+func (g *Gauge) With(kv ...string) *Gauge {
+	if g == nil {
+		return nil
+	}
+	return g.reg.gauge(g.name, mergeLabels(g.labels, kv))
 }
 
 // Set stores v; no-op on a nil gauge.
@@ -147,6 +255,19 @@ type Histogram struct {
 	max     float64
 	samples []float64
 	rng     uint64 // xorshift state for deterministic reservoir sampling
+	reg     *Metrics
+	name    string
+	labels  []Label
+	key     string
+}
+
+// With returns the histogram series refined by the given label pairs; see
+// Counter.With. Nil-safe.
+func (h *Histogram) With(kv ...string) *Histogram {
+	if h == nil {
+		return nil
+	}
+	return h.reg.histogram(h.name, mergeLabels(h.labels, kv))
 }
 
 // Observe records one value; no-op on a nil histogram.
@@ -224,6 +345,14 @@ func quantile(samples []float64, q float64) float64 {
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
+	return sortedQuantile(s, q)
+}
+
+// sortedQuantile is quantile over an already-sorted sample slice.
+func sortedQuantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
 	if q <= 0 {
 		return s[0]
 	}

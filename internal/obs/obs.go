@@ -1,7 +1,11 @@
 // Package obs is the pipeline-wide observability layer: structured phase
-// spans (tracing), a registry of named counters/gauges/histograms
-// (metrics), and a snapshot/export API producing a human-readable table or
-// JSON. It depends only on the standard library.
+// spans (tracing, with attributes, events, and per-worker virtual tracks),
+// a registry of named counters/gauges/histograms refinable into labeled
+// series, and a snapshot/export API producing a human-readable table,
+// JSON, Chrome/Perfetto trace-event JSON (WriteTraceEvents), or the
+// Prometheus text exposition format (WritePrometheus, plus a live
+// /metrics + /debug/pprof http.Handler via Scope.Handler). It depends only
+// on the standard library.
 //
 // A single *Scope is threaded through the flow (core → decomp, mapper,
 // bdd, timing). Every entry point is safe on a nil receiver, so packages
@@ -27,6 +31,11 @@ type Config struct {
 	// duration). Nil disables span logging; spans are still recorded for
 	// the snapshot.
 	Logger *slog.Logger
+	// MaxSpans caps the completed-span ring buffer. Zero selects
+	// DefaultMaxSpans; a negative value disables the cap (unbounded
+	// growth — only sensible for short one-shot runs). Once the buffer is
+	// full the oldest spans are overwritten and counted in SpansDropped.
+	MaxSpans int
 }
 
 // Scope bundles a tracer and a metrics registry for one flow run. The zero
@@ -40,6 +49,7 @@ type Scope struct {
 func New(cfg Config) *Scope {
 	s := &Scope{}
 	s.tracer.logger = cfg.Logger
+	s.tracer.max = cfg.MaxSpans
 	return s
 }
 

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promNamespace prefixes every exported metric name, per Prometheus
+// naming conventions.
+const promNamespace = "powermap_"
+
+// sanitizeMetricName maps a snapshot metric name (dotted) onto the
+// Prometheus name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promNamespace) + len(name))
+	b.WriteString(promNamespace)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9' && b.Len() > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// splitSeriesKey splits a snapshot series key (name or name{k="v",...})
+// into the metric name and the brace-enclosed label body ("" when
+// unlabeled).
+func splitSeriesKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+// promSample is one exposition line under a family.
+type promSample struct {
+	suffix string // appended to the family name (e.g. "_sum")
+	labels string // label body without braces
+	value  string
+}
+
+// promFamily is one # TYPE block.
+type promFamily struct {
+	name    string
+	kind    string
+	samples []promSample
+}
+
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// joinLabels merges two label bodies, skipping empties.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
+	}
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges map directly; histograms are
+// exported as summaries with p50/p90/p99 quantile series plus _sum and
+// _count; span wall times aggregate into the powermap_phase_seconds
+// summary, labeled by phase (span name), so per-phase pipeline time is
+// directly queryable. Metric names are prefixed with "powermap_" and
+// sanitized to the Prometheus charset; families and series print in
+// sorted order, so the output is deterministic for a given snapshot.
+func (sn *Snapshot) WritePrometheus(w io.Writer) error {
+	families := make(map[string]*promFamily)
+	family := func(name, kind string) *promFamily {
+		f, ok := families[name]
+		if !ok {
+			f = &promFamily{name: name, kind: kind}
+			families[name] = f
+		}
+		return f
+	}
+	for key, v := range sn.Counters {
+		name, labels := splitSeriesKey(key)
+		f := family(sanitizeMetricName(name), "counter")
+		f.samples = append(f.samples, promSample{labels: labels, value: strconv.FormatInt(v, 10)})
+	}
+	for key, v := range sn.Gauges {
+		name, labels := splitSeriesKey(key)
+		f := family(sanitizeMetricName(name), "gauge")
+		f.samples = append(f.samples, promSample{labels: labels, value: formatPromValue(v)})
+	}
+	if sn.SpansDropped > 0 {
+		f := family(promNamespace+"spans_dropped", "gauge")
+		f.samples = append(f.samples, promSample{value: strconv.FormatInt(sn.SpansDropped, 10)})
+	}
+	for key, st := range sn.Histograms {
+		name, labels := splitSeriesKey(key)
+		f := family(sanitizeMetricName(name), "summary")
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", st.P50}, {"0.9", st.P90}, {"0.99", st.P99}} {
+			f.samples = append(f.samples, promSample{
+				labels: joinLabels(labels, `quantile="`+q.q+`"`),
+				value:  formatPromValue(q.v),
+			})
+		}
+		f.samples = append(f.samples,
+			promSample{suffix: "_sum", labels: labels, value: formatPromValue(st.Sum)},
+			promSample{suffix: "_count", labels: labels, value: strconv.FormatInt(st.Count, 10)})
+	}
+	if len(sn.Spans) > 0 {
+		byPhase := make(map[string][]float64)
+		for _, sp := range sn.Spans {
+			byPhase[sp.Name] = append(byPhase[sp.Name], float64(sp.DurationNs)/1e9)
+		}
+		f := family(promNamespace+"phase_seconds", "summary")
+		for phase, durs := range byPhase {
+			sort.Float64s(durs)
+			sum := 0.0
+			for _, d := range durs {
+				sum += d
+			}
+			labels := `phase="` + labelEscaper.Replace(phase) + `"`
+			for _, q := range []struct {
+				q string
+				v float64
+			}{{"0.5", sortedQuantile(durs, 0.5)}, {"0.9", sortedQuantile(durs, 0.9)}, {"0.99", sortedQuantile(durs, 0.99)}} {
+				f.samples = append(f.samples, promSample{
+					labels: joinLabels(labels, `quantile="`+q.q+`"`),
+					value:  formatPromValue(q.v),
+				})
+			}
+			f.samples = append(f.samples,
+				promSample{suffix: "_sum", labels: labels, value: formatPromValue(sum)},
+				promSample{suffix: "_count", labels: labels, value: strconv.FormatInt(int64(len(durs)), 10)})
+		}
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := families[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		sort.Slice(f.samples, func(i, j int) bool {
+			if f.samples[i].suffix != f.samples[j].suffix {
+				return f.samples[i].suffix < f.samples[j].suffix
+			}
+			return f.samples[i].labels < f.samples[j].labels
+		})
+		for _, s := range f.samples {
+			series := f.name + s.suffix
+			if s.labels != "" {
+				series += "{" + s.labels + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", series, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus writes a scope snapshot in the Prometheus text
+// exposition format; see Snapshot.WritePrometheus. Safe on a nil scope.
+func WritePrometheus(w io.Writer, s *Scope) error {
+	return s.Snapshot().WritePrometheus(w)
+}

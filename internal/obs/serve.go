@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler exposing the scope's live telemetry:
+//
+//	/metrics    Prometheus text exposition (scraped snapshot)
+//	/snapshot   the full JSON snapshot (spans + metrics)
+//	/trace      Chrome/Perfetto trace-event JSON of the retained spans
+//	/debug/pprof/...  the standard Go profiling endpoints
+//
+// Every request snapshots the scope at that instant, so a scraping
+// Prometheus sees current values while the flow runs. Safe on a nil scope
+// (all exports are empty but well-formed).
+func (s *Scope) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.Snapshot().WriteTraceEvents(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -9,11 +9,19 @@ import (
 )
 
 // Snapshot is a self-contained export of a Scope at one instant: all
-// completed spans and the current value of every metric. It marshals to
+// retained spans and the current value of every metric series. Labeled
+// series appear under their Prometheus-style key, name{k="v",...}, with
+// label keys sorted; unlabeled series under the bare name. It marshals to
 // stable JSON (map keys sort on encoding) and round-trips through
 // ParseSnapshot.
 type Snapshot struct {
-	Spans      []SpanRecord              `json:"spans,omitempty"`
+	Spans []SpanRecord `json:"spans,omitempty"`
+	// SpansDropped counts spans lost to the ring buffer before this
+	// snapshot was taken.
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
+	// Tracks names the worker virtual tracks referenced by Spans[i].Track
+	// (track 0, the coordinator, is implicit).
+	Tracks     map[int64]string          `json:"tracks,omitempty"`
 	Counters   map[string]int64          `json:"counters,omitempty"`
 	Gauges     map[string]float64        `json:"gauges,omitempty"`
 	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
@@ -31,6 +39,8 @@ func (s *Scope) Snapshot() *Snapshot {
 		return sn
 	}
 	sn.Spans = s.Spans()
+	sn.SpansDropped = s.SpansDropped()
+	sn.Tracks = s.TrackNames()
 	m := &s.metrics
 	m.mu.Lock()
 	counters := make(map[string]*Counter, len(m.counters))
@@ -89,6 +99,9 @@ func (sn *Snapshot) WriteTable(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s%-28s %12v\n", indent, sp.Name, sp.Duration().Round(time.Microsecond)); err != nil {
 				return err
 			}
+		}
+		if sn.SpansDropped > 0 {
+			fmt.Fprintf(w, "  (%d older spans dropped by the ring buffer)\n", sn.SpansDropped)
 		}
 	}
 	if len(sn.Counters) > 0 {

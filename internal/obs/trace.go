@@ -1,59 +1,163 @@
 package obs
 
 import (
+	"fmt"
 	"log/slog"
 	"sync"
 	"time"
 )
 
+// DefaultMaxSpans is the span ring-buffer capacity used when
+// Config.MaxSpans is zero. It is deliberately generous: a full six-method
+// suite run records a few thousand spans, so nothing is dropped in normal
+// one-shot use, while a long -serve process stays bounded.
+const DefaultMaxSpans = 16384
+
+// SpanEvent is a timestamped point-in-time annotation inside a span.
+type SpanEvent struct {
+	Name     string         `json:"name"`
+	UnixNano int64          `json:"unix_nano"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
 // SpanRecord is one completed phase span as it appears in a snapshot.
 type SpanRecord struct {
 	Name   string `json:"name"`
 	Parent string `json:"parent,omitempty"`
+	// Track is the virtual thread the span ran on: 0 is the coordinator
+	// (the flow's own goroutine); worker-pool goroutines get tracks
+	// allocated by TrackFor, so exporters can lay spans out side by side.
+	Track int64 `json:"track,omitempty"`
 	// StartUnixNano anchors the span on the wall clock.
 	StartUnixNano int64 `json:"start_unix_nano"`
 	// DurationNs is the measured wall time in nanoseconds.
 	DurationNs int64 `json:"duration_ns"`
+	// Attrs carries the span's attributes (scalar values only).
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Events lists the span's point-in-time annotations.
+	Events []SpanEvent `json:"events,omitempty"`
 }
 
 // Duration returns the span's wall time.
 func (r SpanRecord) Duration() time.Duration { return time.Duration(r.DurationNs) }
 
 // tracer records phase spans. Parentage follows the start/end nesting
-// order: a span started while another is open becomes its child. The flow
-// itself is single-goroutine, but the tracer is mutex-guarded so stray
-// concurrent spans never corrupt it.
+// order per track: a span started while another is open on the same track
+// becomes its child. Completed spans live in a bounded ring buffer so
+// long-lived processes (-serve) never grow without bound; overwritten
+// spans are counted in dropped.
 type tracer struct {
-	mu     sync.Mutex
-	logger *slog.Logger
-	stack  []string
-	spans  []SpanRecord
+	mu      sync.Mutex
+	logger  *slog.Logger
+	max     int // ring capacity; < 0 means unbounded
+	stacks  map[int64][]string
+	spans   []SpanRecord
+	next    int // overwrite cursor once len(spans) == max
+	dropped int64
+
+	tracks    map[int64]string // track id -> display name
+	trackByID map[string]int64 // display name -> track id
+	nextTrack int64
 }
 
-// Span is one in-flight phase. End it exactly once. A nil *Span (from a
-// nil scope) is a no-op.
+// Span is one in-flight phase. End it exactly once. A Span is owned by the
+// goroutine that started it; SetAttr/Event are not safe for concurrent use
+// on the same span. A nil *Span (from a nil scope) is a no-op.
 type Span struct {
 	scope  *Scope
 	name   string
 	parent string
+	track  int64
 	start  time.Time
+	attrs  map[string]any
+	events []SpanEvent
 }
 
-// Start opens a phase span. The span nests under the most recently started
-// still-open span. Returns nil on a nil scope.
-func (s *Scope) Start(name string) *Span {
+// Start opens a phase span on the coordinator track (track 0). The span
+// nests under the most recently started still-open span of that track.
+// Returns nil on a nil scope.
+func (s *Scope) Start(name string) *Span { return s.startOn(0, name, nil) }
+
+// startOn opens a span on an explicit track with optional initial attrs.
+func (s *Scope) startOn(track int64, name string, attrs map[string]any) *Span {
 	if s == nil {
 		return nil
 	}
 	t := &s.tracer
 	t.mu.Lock()
-	parent := ""
-	if len(t.stack) > 0 {
-		parent = t.stack[len(t.stack)-1]
+	if t.stacks == nil {
+		t.stacks = make(map[int64][]string)
 	}
-	t.stack = append(t.stack, name)
+	parent := ""
+	if st := t.stacks[track]; len(st) > 0 {
+		parent = st[len(st)-1]
+	}
+	t.stacks[track] = append(t.stacks[track], name)
 	t.mu.Unlock()
-	return &Span{scope: s, name: name, parent: parent, start: time.Now()}
+	return &Span{scope: s, name: name, parent: parent, track: track, attrs: attrs, start: time.Now()}
+}
+
+// SetAttr records one span attribute. Values are normalized to scalar JSON
+// types (string, bool, int64, float64). Safe on a nil span; returns the
+// span for chaining.
+func (sp *Span) SetAttr(key string, value any) *Span {
+	if sp == nil {
+		return nil
+	}
+	if sp.attrs == nil {
+		sp.attrs = make(map[string]any)
+	}
+	sp.attrs[key] = normalizeAttr(value)
+	return sp
+}
+
+// Event records a timestamped point-in-time annotation on the span, with
+// optional alternating key/value attribute pairs. Safe on a nil span.
+func (sp *Span) Event(name string, kv ...any) {
+	if sp == nil {
+		return
+	}
+	ev := SpanEvent{Name: name, UnixNano: time.Now().UnixNano()}
+	if len(kv) >= 2 {
+		ev.Attrs = make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			ev.Attrs[fmt.Sprint(kv[i])] = normalizeAttr(kv[i+1])
+		}
+	}
+	sp.events = append(sp.events, ev)
+}
+
+// normalizeAttr maps attribute values onto the scalar types that survive a
+// JSON round-trip unchanged in kind: string, bool, int64, float64.
+func normalizeAttr(v any) any {
+	switch x := v.(type) {
+	case string, bool, int64, float64:
+		return x
+	case int:
+		return int64(x)
+	case int8:
+		return int64(x)
+	case int16:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case uint:
+		return int64(x)
+	case uint8:
+		return int64(x)
+	case uint16:
+		return int64(x)
+	case uint32:
+		return int64(x)
+	case uint64:
+		return int64(x)
+	case float32:
+		return float64(x)
+	case time.Duration:
+		return int64(x)
+	default:
+		return fmt.Sprint(v)
+	}
 }
 
 // End closes the span, records it, and logs it when the scope has a
@@ -65,17 +169,22 @@ func (sp *Span) End() time.Duration {
 	d := time.Since(sp.start)
 	t := &sp.scope.tracer
 	t.mu.Lock()
-	for i := len(t.stack) - 1; i >= 0; i-- {
-		if t.stack[i] == sp.name {
-			t.stack = append(t.stack[:i], t.stack[i+1:]...)
-			break
+	if st := t.stacks[sp.track]; len(st) > 0 {
+		for i := len(st) - 1; i >= 0; i-- {
+			if st[i] == sp.name {
+				t.stacks[sp.track] = append(st[:i], st[i+1:]...)
+				break
+			}
 		}
 	}
-	t.spans = append(t.spans, SpanRecord{
+	t.record(SpanRecord{
 		Name:          sp.name,
 		Parent:        sp.parent,
+		Track:         sp.track,
 		StartUnixNano: sp.start.UnixNano(),
 		DurationNs:    int64(d),
+		Attrs:         sp.attrs,
+		Events:        sp.events,
 	})
 	logger := t.logger
 	t.mu.Unlock()
@@ -89,12 +198,95 @@ func (sp *Span) End() time.Duration {
 	return d
 }
 
-// Spans returns the completed spans in end order (nil on a nil scope).
+// record appends one completed span, overwriting the oldest record once
+// the ring is full. Callers hold t.mu.
+func (t *tracer) record(r SpanRecord) {
+	if t.max < 0 {
+		t.spans = append(t.spans, r)
+		return
+	}
+	max := t.max
+	if max == 0 {
+		max = DefaultMaxSpans
+	}
+	if len(t.spans) < max {
+		t.spans = append(t.spans, r)
+		return
+	}
+	t.spans[t.next] = r
+	t.next = (t.next + 1) % max
+	t.dropped++
+}
+
+// Spans returns the retained completed spans in end order, oldest first
+// (nil on a nil scope). When the ring buffer has wrapped, only the newest
+// MaxSpans records remain; SpansDropped counts the overwritten rest.
 func (s *Scope) Spans() []SpanRecord {
+	if s == nil {
+		return nil
+	}
+	t := &s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dropped == 0 {
+		return append([]SpanRecord(nil), t.spans...)
+	}
+	out := make([]SpanRecord, 0, len(t.spans))
+	out = append(out, t.spans[t.next:]...)
+	out = append(out, t.spans[:t.next]...)
+	return out
+}
+
+// SpansDropped reports how many completed spans were overwritten by the
+// ring buffer (0 on a nil scope).
+func (s *Scope) SpansDropped() int64 {
+	if s == nil {
+		return 0
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.tracer.dropped
+}
+
+// TrackFor returns a stable virtual-track id for a display name,
+// allocating one on first use (track ids start at 1; 0 is the
+// coordinator). Worker pools use it so repeated pool invocations reuse one
+// Perfetto lane per worker. Returns 0 on a nil scope.
+func (s *Scope) TrackFor(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	t := &s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.trackByID == nil {
+		t.trackByID = make(map[string]int64)
+		t.tracks = make(map[int64]string)
+	}
+	if id, ok := t.trackByID[name]; ok {
+		return id
+	}
+	t.nextTrack++
+	id := t.nextTrack
+	t.trackByID[name] = id
+	t.tracks[id] = name
+	return id
+}
+
+// TrackNames returns the display names of all allocated worker tracks,
+// keyed by track id (nil on a nil scope or when no tracks were used).
+func (s *Scope) TrackNames() map[int64]string {
 	if s == nil {
 		return nil
 	}
 	s.tracer.mu.Lock()
 	defer s.tracer.mu.Unlock()
-	return append([]SpanRecord(nil), s.tracer.spans...)
+	if len(s.tracer.tracks) == 0 {
+		return nil
+	}
+	out := make(map[int64]string, len(s.tracer.tracks))
+	for id, name := range s.tracer.tracks {
+		out[id] = name
+	}
+	return out
 }

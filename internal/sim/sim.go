@@ -138,7 +138,7 @@ func ActivitiesParallel(ctx context.Context, nw *network.Network, piProb map[str
 	order := nw.TopoOrder()
 	chunks := (vectors + mcChunk - 1) / mcChunk
 	type counts struct{ ones, toggles []int }
-	parts, err := exec.Map(ctx, exec.Workers(workers), chunks, func(ctx context.Context, c int) (counts, error) {
+	parts, err := exec.Map(exec.WithLabel(ctx, "sim.mc"), exec.Workers(workers), chunks, func(ctx context.Context, c int) (counts, error) {
 		if err := ctx.Err(); err != nil {
 			return counts{}, fmt.Errorf("sim: %w", err)
 		}

@@ -9,6 +9,7 @@
 package timing
 
 import (
+	"context"
 	"math"
 
 	"powermap/internal/network"
@@ -37,9 +38,17 @@ type UnitOptions struct {
 // every node reachable from the outputs and returns the maximum arrival
 // time over the primary outputs (the network delay).
 func AnnotateUnit(nw *network.Network, opt UnitOptions) float64 {
-	span := opt.Obs.Start("timing.annotate")
+	return AnnotateUnitContext(context.Background(), nw, opt)
+}
+
+// AnnotateUnitContext is AnnotateUnit with the caller's context, so the
+// timing span files under the context's telemetry track and labels (the
+// computation itself is context-free and never blocks).
+func AnnotateUnitContext(ctx context.Context, nw *network.Network, opt UnitOptions) float64 {
+	span := opt.Obs.StartCtx(ctx, "timing.annotate")
 	defer span.End()
 	order := nw.TopoOrder()
+	span.SetAttr("nodes", len(order))
 	opt.Obs.Counter("timing.annotate_runs").Inc()
 	opt.Obs.Counter("timing.nodes_annotated").Add(int64(len(order)))
 	for _, n := range order {
