@@ -6,12 +6,24 @@
 //
 // evaluated by one depth-first pass over the DAG with memoization.
 //
+// The kernel is production-grade: every constructive operation returns an
+// error instead of panicking (a too-wide function yields a wrapped
+// ErrNodeLimit), node storage is garbage-collected by mark-and-sweep from
+// external root handles (Protect/Release), the computed table is size
+// bounded and cleared on GC, and the variable order can be improved at run
+// time by Rudell-style sifting (Reorder), either explicitly or
+// automatically on live-node growth via Maintain.
+//
+// A Ref identifies a function, not a storage slot: garbage collection and
+// reordering both preserve the Ref → function mapping of every live
+// reference, so callers may hold Refs across GC (if rooted) and across
+// reorder (always).
+//
 // The manager is not safe for concurrent use.
 package bdd
 
 import (
-	"errors"
-	"fmt"
+	"math"
 
 	"powermap/internal/sop"
 )
@@ -26,15 +38,21 @@ const (
 	True  Ref = 1
 )
 
+// node is one slot of the manager's node store. varID is the variable
+// tested by the node (not its level: levels move under reordering);
+// terminals use the sentinel m.termVar and free slots use varFree. rc
+// counts references from parent nodes only — external references are
+// tracked separately in the root table.
 type node struct {
-	level  int32 // variable level; terminals use maxLevel
+	varID  int32
 	lo, hi Ref
+	rc     int32
 }
 
-const maxLevel = int32(1<<30 - 1)
+// varFree marks a reclaimed slot on the free list.
+const varFree = int32(-1)
 
-type triple struct {
-	level  int32
+type pair struct {
 	lo, hi Ref
 }
 
@@ -50,9 +68,36 @@ const (
 	opIte
 )
 
-// ErrNodeLimit is returned when an operation would grow the manager past its
-// configured node limit.
-var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+// Defaults applied by NewWith when the corresponding Config field is zero.
+const (
+	DefaultNodeLimit        = 4 << 20
+	DefaultCacheLimit       = 1 << 20
+	DefaultGCThreshold      = 1 << 16
+	DefaultReorderThreshold = 1 << 13
+)
+
+// Config tunes a Manager. The zero value selects the defaults above with
+// dynamic reordering disabled.
+type Config struct {
+	// NodeLimit caps live internal nodes; operations that would exceed it
+	// return a wrapped ErrNodeLimit. 0 selects DefaultNodeLimit.
+	NodeLimit int
+	// CacheLimit bounds the computed-table entry count; when full the
+	// table is cleared (counted in Stats.CacheResets). 0 selects
+	// DefaultCacheLimit; negative leaves the table unbounded.
+	CacheLimit int
+	// GCThreshold is the live-node count at which Maintain first runs a
+	// mark-and-sweep; after each GC the trigger doubles from the surviving
+	// live count. 0 selects DefaultGCThreshold; negative disables
+	// automatic GC (explicit GC calls still work).
+	GCThreshold int
+	// Reorder enables dynamic variable reordering by sifting in Maintain.
+	Reorder bool
+	// ReorderThreshold is the live-node count at which Maintain first
+	// sifts; after each reorder the trigger doubles from the surviving
+	// live count. 0 selects DefaultReorderThreshold.
+	ReorderThreshold int
+}
 
 // Stats counts the work a Manager has performed since creation. The
 // counters are plain integers bumped on the hot paths (the manager is
@@ -68,139 +113,255 @@ type Stats struct {
 	// and ite operators.
 	CacheHits   int64
 	CacheMisses int64
+	// GCRuns counts mark-and-sweep passes; NodesFreed sums the nodes they
+	// (and sifting's eager reclamation) returned to the free list.
+	GCRuns     int64
+	NodesFreed int64
+	// Live is the current live internal node count; PeakLive its maximum
+	// since creation.
+	Live     int64
+	PeakLive int64
+	// ReorderRuns counts sifting passes; ReorderSwaps the adjacent-level
+	// swaps they performed.
+	ReorderRuns  int64
+	ReorderSwaps int64
+	// CacheResets counts computed-table clears (size bound or GC);
+	// CacheEntries is the current occupancy.
+	CacheResets  int64
+	CacheEntries int64
 }
 
-// Manager owns a forest of ROBDD nodes over a fixed variable order.
-// Variable i has level i; smaller levels are tested first.
+// Manager owns a forest of ROBDD nodes over a dynamic variable order.
+// Variable v initially has level v; Reorder may move it.
 type Manager struct {
 	nodes    []node
-	unique   map[triple]Ref
+	free     []Ref
+	unique   []map[pair]Ref // per-variable unique tables
 	computed map[cacheKey]Ref
-	numVars  int
-	limit    int
-	stats    Stats
+	roots    map[Ref]int
+
+	var2level []int32 // variable -> level; entry numVars is the terminal level
+	level2var []int32 // level -> variable
+
+	numVars int
+	termVar int32
+	live    int // live internal nodes (terminals excluded)
+
+	limit      int
+	cacheLimit int
+
+	gcThreshold      int
+	gcAt             int
+	autoReorder      bool
+	reorderThreshold int
+	reorderAt        int
+
+	stats Stats
 }
 
-// New returns a manager over numVars variables with a default node limit
-// suitable for the benchmark networks in this repository.
-func New(numVars int) *Manager {
+// New returns a manager over numVars variables with the default
+// configuration.
+func New(numVars int) *Manager { return NewWith(numVars, Config{}) }
+
+// NewWith returns a manager over numVars variables tuned by cfg.
+func NewWith(numVars int, cfg Config) *Manager {
+	if cfg.NodeLimit == 0 {
+		cfg.NodeLimit = DefaultNodeLimit
+	}
+	if cfg.CacheLimit == 0 {
+		cfg.CacheLimit = DefaultCacheLimit
+	}
+	if cfg.GCThreshold == 0 {
+		cfg.GCThreshold = DefaultGCThreshold
+	}
+	if cfg.ReorderThreshold == 0 {
+		cfg.ReorderThreshold = DefaultReorderThreshold
+	}
 	m := &Manager{
-		unique:   make(map[triple]Ref),
-		computed: make(map[cacheKey]Ref),
-		numVars:  numVars,
-		limit:    4 << 20,
+		computed:         make(map[cacheKey]Ref),
+		roots:            make(map[Ref]int),
+		numVars:          numVars,
+		termVar:          int32(numVars),
+		limit:            cfg.NodeLimit,
+		cacheLimit:       cfg.CacheLimit,
+		gcThreshold:      cfg.GCThreshold,
+		gcAt:             cfg.GCThreshold,
+		autoReorder:      cfg.Reorder,
+		reorderThreshold: cfg.ReorderThreshold,
+		reorderAt:        cfg.ReorderThreshold,
 	}
 	m.nodes = append(m.nodes,
-		node{level: maxLevel}, // False
-		node{level: maxLevel}, // True
+		node{varID: m.termVar}, // False
+		node{varID: m.termVar}, // True
 	)
+	m.unique = make([]map[pair]Ref, numVars)
+	for v := range m.unique {
+		m.unique[v] = make(map[pair]Ref)
+	}
+	m.var2level = make([]int32, numVars+1)
+	m.level2var = make([]int32, numVars)
+	for v := 0; v <= numVars; v++ {
+		m.var2level[v] = int32(v)
+	}
+	for l := 0; l < numVars; l++ {
+		m.level2var[l] = int32(l)
+	}
 	return m
 }
 
-// SetNodeLimit overrides the default node limit. Operations that would
-// exceed it panic with ErrNodeLimit wrapped in the panic value; the flow
-// treats this as a fatal configuration error.
+// SetNodeLimit overrides the live-node limit. Operations that would exceed
+// it return a wrapped ErrNodeLimit.
 func (m *Manager) SetNodeLimit(n int) { m.limit = n }
 
 // NumVars returns the number of variables in the manager's order.
 func (m *Manager) NumVars() int { return m.numVars }
 
 // NumNodes returns the number of live nodes, including the two terminals.
-func (m *Manager) NumNodes() int { return len(m.nodes) }
+func (m *Manager) NumNodes() int { return m.live + 2 }
 
 // Stats returns the work counters accumulated since creation.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	st := m.stats
+	st.Live = int64(m.live)
+	st.CacheEntries = int64(len(m.computed))
+	return st
+}
+
+// Order returns the current variable order: element l is the variable at
+// level l (tested l-th from the top).
+func (m *Manager) Order() []int {
+	out := make([]int, m.numVars)
+	for l, v := range m.level2var {
+		out[l] = int(v)
+	}
+	return out
+}
+
+// level returns the order position of r's test variable; terminals sit
+// below every variable.
+func (m *Manager) level(r Ref) int32 { return m.var2level[m.nodes[r].varID] }
 
 // Var returns the BDD for variable v.
-func (m *Manager) Var(v int) Ref {
+func (m *Manager) Var(v int) (Ref, error) {
 	if v < 0 || v >= m.numVars {
-		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+		return False, &VarRangeError{Var: v, NumVars: m.numVars}
 	}
 	return m.mk(int32(v), False, True)
 }
 
 // NVar returns the BDD for the negation of variable v.
-func (m *Manager) NVar(v int) Ref {
+func (m *Manager) NVar(v int) (Ref, error) {
 	if v < 0 || v >= m.numVars {
-		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+		return False, &VarRangeError{Var: v, NumVars: m.numVars}
 	}
 	return m.mk(int32(v), True, False)
 }
 
-func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+// mk returns the canonical node (v, lo, hi), reusing the unique table and
+// applying the lo==hi reduction rule.
+func (m *Manager) mk(v int32, lo, hi Ref) (Ref, error) {
 	if lo == hi {
 		m.stats.UniqueHits++
-		return lo
+		return lo, nil
 	}
-	key := triple{level, lo, hi}
-	if r, ok := m.unique[key]; ok {
+	key := pair{lo, hi}
+	if r, ok := m.unique[v][key]; ok {
 		m.stats.UniqueHits++
-		return r
+		return r, nil
 	}
-	if len(m.nodes) >= m.limit {
-		panic(ErrNodeLimit)
-	}
-	r := Ref(len(m.nodes))
-	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
-	m.unique[key] = r
-	m.stats.Allocs++
-	return r
+	return m.alloc(v, lo, hi)
 }
 
-func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+// alloc creates a fresh node, preferring recycled free-list slots. The
+// internal reference counts of both children are bumped; the new node
+// starts with rc 0 (nothing points at it yet).
+func (m *Manager) alloc(v int32, lo, hi Ref) (Ref, error) {
+	if m.live >= m.limit {
+		return False, &NodeLimitError{Live: m.live, Limit: m.limit}
+	}
+	var r Ref
+	if n := len(m.free); n > 0 {
+		r = m.free[n-1]
+		m.free = m.free[:n-1]
+		m.nodes[r] = node{varID: v, lo: lo, hi: hi}
+	} else {
+		r = Ref(len(m.nodes))
+		m.nodes = append(m.nodes, node{varID: v, lo: lo, hi: hi})
+	}
+	m.nodes[lo].rc++
+	m.nodes[hi].rc++
+	m.unique[v][pair{lo, hi}] = r
+	m.live++
+	if int64(m.live) > m.stats.PeakLive {
+		m.stats.PeakLive = int64(m.live)
+	}
+	m.stats.Allocs++
+	return r, nil
+}
+
+// cachePut inserts into the computed table, clearing it first when the
+// size bound is reached (cheap amortized eviction; correctness is
+// unaffected because entries are pure memoization).
+func (m *Manager) cachePut(k cacheKey, r Ref) {
+	if m.cacheLimit > 0 && len(m.computed) >= m.cacheLimit {
+		m.computed = make(map[cacheKey]Ref)
+		m.stats.CacheResets++
+	}
+	m.computed[k] = r
+}
 
 // Not returns the complement of f.
-func (m *Manager) Not(f Ref) Ref { return m.Ite(f, False, True) }
+func (m *Manager) Not(f Ref) (Ref, error) { return m.Ite(f, False, True) }
 
 // And returns f AND g.
-func (m *Manager) And(f, g Ref) Ref { return m.apply(opAnd, f, g) }
+func (m *Manager) And(f, g Ref) (Ref, error) { return m.apply(opAnd, f, g) }
 
 // Or returns f OR g.
-func (m *Manager) Or(f, g Ref) Ref { return m.apply(opOr, f, g) }
+func (m *Manager) Or(f, g Ref) (Ref, error) { return m.apply(opOr, f, g) }
 
 // Xor returns f XOR g.
-func (m *Manager) Xor(f, g Ref) Ref { return m.apply(opXor, f, g) }
+func (m *Manager) Xor(f, g Ref) (Ref, error) { return m.apply(opXor, f, g) }
 
-func (m *Manager) apply(op int32, f, g Ref) Ref {
+func (m *Manager) apply(op int32, f, g Ref) (Ref, error) {
 	switch op {
 	case opAnd:
 		if f == False || g == False {
-			return False
+			return False, nil
 		}
 		if f == True {
-			return g
+			return g, nil
 		}
 		if g == True {
-			return f
+			return f, nil
 		}
 		if f == g {
-			return f
+			return f, nil
 		}
 	case opOr:
 		if f == True || g == True {
-			return True
+			return True, nil
 		}
 		if f == False {
-			return g
+			return g, nil
 		}
 		if g == False {
-			return f
+			return f, nil
 		}
 		if f == g {
-			return f
+			return f, nil
 		}
 	case opXor:
 		if f == False {
-			return g
+			return g, nil
 		}
 		if g == False {
-			return f
+			return f, nil
 		}
 		if f == g {
-			return False
+			return False, nil
 		}
 		if f == True && g == True {
-			return False
+			return False, nil
 		}
 	}
 	// Normalize commutative operand order for cache hits.
@@ -211,45 +372,57 @@ func (m *Manager) apply(op int32, f, g Ref) Ref {
 	key := cacheKey{op: op, f: a, g: b}
 	if r, ok := m.computed[key]; ok {
 		m.stats.CacheHits++
-		return r
+		return r, nil
 	}
 	m.stats.CacheMisses++
-	lf, lg := m.level(a), m.level(b)
-	top := lf
-	if lg < top {
-		top = lg
+	top := m.level(a)
+	if l := m.level(b); l < top {
+		top = l
 	}
-	a0, a1 := m.cofactors(a, top)
-	b0, b1 := m.cofactors(b, top)
-	r := m.mk(top, m.apply(op, a0, b0), m.apply(op, a1, b1))
-	m.computed[key] = r
-	return r
+	tv := m.level2var[top]
+	a0, a1 := m.cofactors(a, tv)
+	b0, b1 := m.cofactors(b, tv)
+	r0, err := m.apply(op, a0, b0)
+	if err != nil {
+		return False, err
+	}
+	r1, err := m.apply(op, a1, b1)
+	if err != nil {
+		return False, err
+	}
+	r, err := m.mk(tv, r0, r1)
+	if err != nil {
+		return False, err
+	}
+	m.cachePut(key, r)
+	return r, nil
 }
 
-func (m *Manager) cofactors(f Ref, level int32) (lo, hi Ref) {
-	if m.level(f) != level {
+// cofactors returns f's children when f tests variable v, else (f, f).
+func (m *Manager) cofactors(f Ref, v int32) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.varID != v {
 		return f, f
 	}
-	n := m.nodes[f]
 	return n.lo, n.hi
 }
 
 // Ite returns if-then-else(f, g, h) = f·g + f̄·h.
-func (m *Manager) Ite(f, g, h Ref) Ref {
+func (m *Manager) Ite(f, g, h Ref) (Ref, error) {
 	switch {
 	case f == True:
-		return g
+		return g, nil
 	case f == False:
-		return h
+		return h, nil
 	case g == h:
-		return g
+		return g, nil
 	case g == True && h == False:
-		return f
+		return f, nil
 	}
 	key := cacheKey{op: opIte, f: f, g: g, h: h}
 	if r, ok := m.computed[key]; ok {
 		m.stats.CacheHits++
-		return r
+		return r, nil
 	}
 	m.stats.CacheMisses++
 	top := m.level(f)
@@ -259,78 +432,117 @@ func (m *Manager) Ite(f, g, h Ref) Ref {
 	if l := m.level(h); l < top {
 		top = l
 	}
-	f0, f1 := m.cofactors(f, top)
-	g0, g1 := m.cofactors(g, top)
-	h0, h1 := m.cofactors(h, top)
-	r := m.mk(top, m.Ite(f0, g0, h0), m.Ite(f1, g1, h1))
-	m.computed[key] = r
-	return r
+	tv := m.level2var[top]
+	f0, f1 := m.cofactors(f, tv)
+	g0, g1 := m.cofactors(g, tv)
+	h0, h1 := m.cofactors(h, tv)
+	r0, err := m.Ite(f0, g0, h0)
+	if err != nil {
+		return False, err
+	}
+	r1, err := m.Ite(f1, g1, h1)
+	if err != nil {
+		return False, err
+	}
+	r, err := m.mk(tv, r0, r1)
+	if err != nil {
+		return False, err
+	}
+	m.cachePut(key, r)
+	return r, nil
 }
 
 // Restrict returns f with variable v fixed to the given value.
-func (m *Manager) Restrict(f Ref, v int, value bool) Ref {
-	level := int32(v)
-	var rec func(g Ref) Ref
+func (m *Manager) Restrict(f Ref, v int, value bool) (Ref, error) {
+	if v < 0 || v >= m.numVars {
+		return False, &VarRangeError{Var: v, NumVars: m.numVars}
+	}
+	cut := m.var2level[v]
 	memo := make(map[Ref]Ref)
-	rec = func(g Ref) Ref {
-		if m.level(g) > level {
-			return g
+	var rec func(g Ref) (Ref, error)
+	rec = func(g Ref) (Ref, error) {
+		if m.level(g) > cut {
+			return g, nil
 		}
 		if r, ok := memo[g]; ok {
-			return r
+			return r, nil
 		}
 		n := m.nodes[g]
 		var r Ref
-		if n.level == level {
+		if n.varID == int32(v) {
 			if value {
 				r = n.hi
 			} else {
 				r = n.lo
 			}
 		} else {
-			r = m.mk(n.level, rec(n.lo), rec(n.hi))
+			lo, err := rec(n.lo)
+			if err != nil {
+				return False, err
+			}
+			hi, err := rec(n.hi)
+			if err != nil {
+				return False, err
+			}
+			r, err = m.mk(n.varID, lo, hi)
+			if err != nil {
+				return False, err
+			}
 		}
 		memo[g] = r
-		return r
+		return r, nil
 	}
 	return rec(f)
 }
 
 // FromCover builds the BDD of an SOP cover where cover variable i is
-// represented by inputs[i] (an arbitrary function, enabling composition of a
-// local function with its fanins' global functions).
-func (m *Manager) FromCover(f *sop.Cover, inputs []Ref) Ref {
+// represented by inputs[i] (an arbitrary function, enabling composition of
+// a local function with its fanins' global functions).
+func (m *Manager) FromCover(f *sop.Cover, inputs []Ref) (Ref, error) {
 	if f.NumVars != len(inputs) {
-		panic(fmt.Sprintf("bdd: cover width %d != input count %d", f.NumVars, len(inputs)))
+		return False, &CoverWidthError{CoverVars: f.NumVars, Inputs: len(inputs)}
 	}
 	result := False
 	for _, c := range f.Cubes {
 		term := True
 		for v, l := range c {
+			var err error
 			switch l {
 			case sop.Pos:
-				term = m.And(term, inputs[v])
+				term, err = m.And(term, inputs[v])
 			case sop.Neg:
-				term = m.And(term, m.Not(inputs[v]))
+				var neg Ref
+				neg, err = m.Not(inputs[v])
+				if err == nil {
+					term, err = m.And(term, neg)
+				}
+			}
+			if err != nil {
+				return False, err
 			}
 			if term == False {
 				break
 			}
 		}
-		result = m.Or(result, term)
+		var err error
+		result, err = m.Or(result, term)
+		if err != nil {
+			return False, err
+		}
 		if result == True {
 			break
 		}
 	}
-	return result
+	return result, nil
 }
 
 // Prob computes the probability that f evaluates to 1 when variable v is 1
 // independently with probability p1[v] (Equation 2 of the paper), via a
-// single memoized depth-first traversal.
-func (m *Manager) Prob(f Ref, p1 []float64) float64 {
+// single memoized depth-first traversal. p1 is indexed by variable, not by
+// order position, so it is stable under reordering.
+func (m *Manager) Prob(f Ref, p1 []float64) (float64, error) {
 	if len(p1) != m.numVars {
-		panic(fmt.Sprintf("bdd: got %d probabilities for %d variables", len(p1), m.numVars))
+		return 0, &ProbLenError{Got: len(p1), Want: m.numVars}
 	}
 	memo := make(map[Ref]float64)
 	var rec func(g Ref) float64
@@ -345,12 +557,33 @@ func (m *Manager) Prob(f Ref, p1 []float64) float64 {
 			return p
 		}
 		n := m.nodes[g]
-		pv := p1[n.level]
+		pv := p1[n.varID]
 		p := pv*rec(n.hi) + (1-pv)*rec(n.lo)
 		memo[g] = p
 		return p
 	}
-	return rec(f)
+	return rec(f), nil
+}
+
+// CondProb returns P(f=1 | g=1) under independent variable probabilities,
+// computed as P(f·g)/P(g). It returns 0 when P(g)=0.
+func (m *Manager) CondProb(f, g Ref, p1 []float64) (float64, error) {
+	pg, err := m.Prob(g, p1)
+	if err != nil {
+		return 0, err
+	}
+	if pg == 0 {
+		return 0, nil
+	}
+	fg, err := m.And(f, g)
+	if err != nil {
+		return 0, err
+	}
+	pfg, err := m.Prob(fg, p1)
+	if err != nil {
+		return 0, err
+	}
+	return pfg / pg, nil
 }
 
 // SatCount returns the number of satisfying assignments of f over all
@@ -363,10 +596,7 @@ func (m *Manager) SatCount(f Ref) float64 {
 			return 0
 		}
 		gl := m.level(g)
-		if g == True {
-			gl = int32(m.numVars)
-		}
-		skip := float64(int64(1) << uint(gl-level))
+		skip := math.Exp2(float64(gl - level))
 		if g == True {
 			return skip
 		}
@@ -374,7 +604,7 @@ func (m *Manager) SatCount(f Ref) float64 {
 			return skip * c
 		}
 		n := m.nodes[g]
-		c := rec(n.lo, n.level+1) + rec(n.hi, n.level+1)
+		c := rec(n.lo, gl+1) + rec(n.hi, gl+1)
 		memo[g] = c
 		return skip * c
 	}
@@ -392,7 +622,7 @@ func (m *Manager) Support(f Ref) []int {
 		}
 		visited[g] = true
 		n := m.nodes[g]
-		seen[n.level] = true
+		seen[n.varID] = true
 		rec(n.lo)
 		rec(n.hi)
 	}
@@ -406,17 +636,20 @@ func (m *Manager) Support(f Ref) []int {
 	return out
 }
 
-// Eval evaluates f under a full assignment.
-func (m *Manager) Eval(f Ref, assign []bool) bool {
+// Eval evaluates f under a full assignment indexed by variable.
+func (m *Manager) Eval(f Ref, assign []bool) (bool, error) {
+	if len(assign) != m.numVars {
+		return false, &AssignLenError{Got: len(assign), Want: m.numVars}
+	}
 	for f != False && f != True {
 		n := m.nodes[f]
-		if assign[n.level] {
+		if assign[n.varID] {
 			f = n.hi
 		} else {
 			f = n.lo
 		}
 	}
-	return f == True
+	return f == True, nil
 }
 
 // AnySat returns one satisfying assignment of f as a cube over all numVars
@@ -433,22 +666,12 @@ func (m *Manager) AnySat(f Ref) (sop.Cube, bool) {
 	for f != True {
 		n := m.nodes[f]
 		if n.lo != False {
-			cube[n.level] = sop.Neg
+			cube[n.varID] = sop.Neg
 			f = n.lo
 		} else {
-			cube[n.level] = sop.Pos
+			cube[n.varID] = sop.Pos
 			f = n.hi
 		}
 	}
 	return cube, true
-}
-
-// CondProb returns P(f=1 | g=1) under independent variable probabilities,
-// computed as P(f·g)/P(g). It returns 0 when P(g)=0.
-func (m *Manager) CondProb(f, g Ref, p1 []float64) float64 {
-	pg := m.Prob(g, p1)
-	if pg == 0 {
-		return 0
-	}
-	return m.Prob(m.And(f, g), p1) / pg
 }

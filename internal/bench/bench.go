@@ -19,9 +19,13 @@ import (
 	"sort"
 	"time"
 
+	"powermap/internal/bdd"
+	"powermap/internal/circuits"
 	"powermap/internal/core"
 	"powermap/internal/eval"
+	"powermap/internal/huffman"
 	"powermap/internal/obs"
+	"powermap/internal/prob"
 )
 
 // SchemaVersion identifies the manifest layout; bump it on any
@@ -66,6 +70,57 @@ type Options struct {
 	GitRev  string
 	Command string
 	Note    string
+	// Wide additionally runs the wide-BDD workload (an exact probability
+	// model of WideCircuit with tight GC/reorder thresholds, with and
+	// without sifting) and records its peak-live-node and GC counters as
+	// manifest metrics.
+	Wide bool
+}
+
+// WideCircuit is the benchmark the wide-BDD workload builds exact global
+// BDDs for. Chosen because its DFS variable order is measurably
+// improvable: sifting cuts peak live nodes by roughly a third, so the
+// recorded pair of peaks also acts as a regression check on the reorderer.
+const WideCircuit = "s344"
+
+// wideBDDConfig returns the kernel tuning of the wide workload: thresholds
+// far below the defaults so GC and (optionally) sifting actually trigger
+// on a benchmark-sized circuit.
+func wideBDDConfig(reorder bool) bdd.Config {
+	return bdd.Config{GCThreshold: 256, Reorder: reorder, ReorderThreshold: 256}
+}
+
+// wideWorkload builds the exact probability model of WideCircuit twice —
+// fixed DFS order, then with dynamic sifting — and returns the kernel
+// fingerprints of both runs.
+func wideWorkload(ctx context.Context) (map[string]float64, error) {
+	b, err := circuits.ByName(WideCircuit)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wide workload: %w", err)
+	}
+	run := func(reorder bool) (bdd.Stats, error) {
+		model, err := prob.ComputeWith(ctx, b.Build(), nil, huffman.Static, wideBDDConfig(reorder))
+		if err != nil {
+			return bdd.Stats{}, fmt.Errorf("bench: wide workload (reorder=%v): %w", reorder, err)
+		}
+		return model.Manager().Stats(), nil
+	}
+	base, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	sifted, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"bdd.wide_peak_live_nodes":         float64(base.PeakLive),
+		"bdd.wide_peak_live_nodes_reorder": float64(sifted.PeakLive),
+		"bdd.wide_gc_runs":                 float64(base.GCRuns),
+		"bdd.wide_gc_runs_reorder":         float64(sifted.GCRuns),
+		"bdd.wide_reorder_runs":            float64(sifted.ReorderRuns),
+		"bdd.wide_reorder_swaps":           float64(sifted.ReorderSwaps),
+	}, nil
 }
 
 // PhaseStat is one phase's aggregated cost in a Manifest.
@@ -185,6 +240,20 @@ func Run(ctx context.Context, opts Options) (*Manifest, error) {
 		}
 		if run == runs-1 {
 			m.Metrics = fingerprintMetrics(sn)
+		}
+	}
+	if opts.Wide {
+		start := time.Now()
+		wide, err := wideWorkload(ctx)
+		if err != nil {
+			return nil, err
+		}
+		m.Phases["bench.wide-bdd"] = PhaseStat{Spans: 1, WallNs: time.Since(start).Nanoseconds()}
+		if m.Metrics == nil {
+			m.Metrics = map[string]float64{}
+		}
+		for k, v := range wide {
+			m.Metrics[k] = v
 		}
 	}
 	return m, nil

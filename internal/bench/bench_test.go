@@ -198,3 +198,28 @@ func TestRunSmoke(t *testing.T) {
 		t.Errorf("back-to-back manifests not comparable: %v", cmp.Err)
 	}
 }
+
+// TestWideWorkload checks the wide-BDD workload's two contracts: it
+// records both kernel fingerprints, and sifting actually reduces the peak
+// live-node count on WideCircuit (the acceptance evidence for dynamic
+// reordering, re-proved on every run).
+func TestWideWorkload(t *testing.T) {
+	wide, err := wideWorkload(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := wide["bdd.wide_peak_live_nodes"]
+	sifted := wide["bdd.wide_peak_live_nodes_reorder"]
+	if base <= 0 || sifted <= 0 {
+		t.Fatalf("peaks not recorded: %v", wide)
+	}
+	if sifted >= base {
+		t.Errorf("sifting did not reduce peak live nodes on %s: %v -> %v", WideCircuit, base, sifted)
+	}
+	if wide["bdd.wide_gc_runs"] <= 0 {
+		t.Errorf("wide workload never triggered GC: %v", wide)
+	}
+	if wide["bdd.wide_reorder_runs"] <= 0 {
+		t.Errorf("wide workload never triggered reordering: %v", wide)
+	}
+}

@@ -2,9 +2,13 @@ package blif
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
+	"powermap/internal/bdd"
+	"powermap/internal/huffman"
 	"powermap/internal/network"
+	"powermap/internal/prob"
 )
 
 // FuzzParse exercises the BLIF parser on arbitrary inputs: it must never
@@ -43,6 +47,13 @@ func FuzzParse(f *testing.F) {
 		if len(back.PIs) != len(nw.PIs) || len(back.Outputs) != len(nw.Outputs) {
 			t.Fatalf("round trip changed interface: %d/%d -> %d/%d",
 				len(nw.PIs), len(nw.Outputs), len(back.PIs), len(back.Outputs))
+		}
+		// Any accepted network must also flow into the exact probability
+		// model without panicking, even under a starvation-level node
+		// limit: over-wide inputs are errors, not crashes.
+		if _, perr := prob.ComputeWith(context.Background(), nw, nil, huffman.Static,
+			bdd.Config{NodeLimit: 16}); perr != nil && !bdd.IsNodeLimit(perr) {
+			t.Fatalf("prob rejected an accepted network with a non-limit error: %v", perr)
 		}
 		_ = network.EquivalentBrute // equivalence is covered by unit tests; fuzz guards structure
 	})

@@ -1,0 +1,32 @@
+package cli
+
+import (
+	"flag"
+
+	"powermap/internal/bdd"
+)
+
+// bddFlags holds the uniform BDD kernel flags (-reorder, -bdd-limit)
+// shared by pmap, powerest, pcheck and tables.
+type bddFlags struct {
+	reorder *bool
+	limit   *int
+}
+
+// addBDDFlags registers the kernel tuning flags on fs.
+func addBDDFlags(fs *flag.FlagSet) *bddFlags {
+	return &bddFlags{
+		reorder: fs.Bool("reorder", false,
+			"enable dynamic BDD variable reordering by sifting (helps wide circuits fit the node limit)"),
+		limit: fs.Int("bdd-limit", 0,
+			"BDD live-node limit; networks needing more fail with a node-limit error (0 = default 4Mi)"),
+	}
+}
+
+// config materializes the flags as a kernel configuration.
+func (b *bddFlags) config() bdd.Config {
+	return bdd.Config{
+		NodeLimit: *b.limit,
+		Reorder:   *b.reorder,
+	}
+}

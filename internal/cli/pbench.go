@@ -33,6 +33,7 @@ func Pbench(args []string, out, errOut io.Writer) error {
 		failFlag  = fs.Bool("fail", true, "exit non-zero when a phase regresses beyond -threshold")
 		gitRev    = fs.String("rev", "", "git revision to record in the manifest")
 		note      = fs.String("note", "", "free-form note to record in the manifest")
+		wide      = fs.Bool("wide", true, "also run the wide-BDD workload and record peak-node/GC/reorder metrics")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -43,6 +44,7 @@ func Pbench(args []string, out, errOut io.Writer) error {
 		Workers: *workers,
 		GitRev:  *gitRev,
 		Note:    *note,
+		Wide:    *wide,
 		Command: "pbench " + strings.Join(args, " "),
 	}
 	if *quick {

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"powermap/internal/bdd"
 	"powermap/internal/circuits"
 	"powermap/internal/core"
 	"powermap/internal/genlib"
@@ -44,6 +45,7 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 		inject   = fs.Bool("inject", false, "corrupt one mapped gate before checking; the checker must reject it (self-test, always exits nonzero)")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
+	bddf := addBDDFlags(fs)
 	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,7 +79,7 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 			return err
 		}
 		for _, m := range methods {
-			err := checkOne(ctx, out, src, lib, m, st, *tree, relax, *workers, *inject, sc)
+			err := checkOne(ctx, out, src, lib, m, st, *tree, relax, *workers, *inject, sc, bddf.config())
 			if err != nil {
 				return timeoutError(*timeout, err)
 			}
@@ -90,7 +92,7 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 		s := *seed + int64(i)
 		src := verify.RandomNetwork(fmt.Sprintf("rand%04d", s), verify.RandConfig{Seed: s})
 		m := methods[i%len(methods)]
-		err := checkOne(ctx, out, src, lib, m, st, i%2 == 1, relax, *workers, false, sc)
+		err := checkOne(ctx, out, src, lib, m, st, i%2 == 1, relax, *workers, false, sc, bddf.config())
 		if err != nil {
 			return timeoutError(*timeout, err)
 		}
@@ -137,7 +139,7 @@ func parseMethods(s string) ([]core.Method, error) {
 // consistency. With inject it corrupts the mapped netlist first and demands
 // the checker reject it.
 func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *genlib.Library,
-	m core.Method, st huffman.Style, tree bool, relax *float64, workers int, inject bool, sc *obs.Scope) error {
+	m core.Method, st huffman.Style, tree bool, relax *float64, workers int, inject bool, sc *obs.Scope, cfg bdd.Config) error {
 	ctx = obs.WithLabels(ctx, "circuit", src.Name, "method", m.String())
 	span := sc.StartCtx(ctx, "pcheck.check")
 	defer span.End()
@@ -151,6 +153,7 @@ func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *gen
 		Library:    lib,
 		CurveAudit: audit.Hook(),
 		Obs:        sc,
+		BDD:        cfg,
 	})
 	if err != nil {
 		return fmt.Errorf("%s method %s: synthesize: %w", src.Name, m, err)
@@ -160,10 +163,10 @@ func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *gen
 	}
 	span.SetAttr("curves_audited", audit.Checked()).SetAttr("gates", res.Report.Gates)
 	if inject {
-		return injectViolation(ctx, out, src, res, lib)
+		return injectViolation(ctx, out, src, res, lib, cfg)
 	}
 	vspan := sc.StartCtx(ctx, "pcheck.verify")
-	err = verify.CheckResult(ctx, src, res)
+	err = verify.CheckResultWith(ctx, src, res, cfg)
 	vspan.End()
 	if err != nil {
 		return fmt.Errorf("%s method %s: %w", src.Name, m, err)
@@ -177,7 +180,7 @@ func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *gen
 // with a different function and demands the checker reject the result. The
 // detection comes back as an error so pcheck exits nonzero; a corruption
 // the checker misses is itself an error. The self-test never exits zero.
-func injectViolation(ctx context.Context, out io.Writer, src *network.Network, res *core.Result, lib *genlib.Library) error {
+func injectViolation(ctx context.Context, out io.Writer, src *network.Network, res *core.Result, lib *genlib.Library, cfg bdd.Config) error {
 	for _, g := range res.Netlist.Gates {
 		orig := g.Cell
 		for _, c := range lib.Cells {
@@ -185,7 +188,7 @@ func injectViolation(ctx context.Context, out io.Writer, src *network.Network, r
 				continue
 			}
 			g.Cell = c
-			err := verify.CheckResult(ctx, src, res)
+			err := verify.CheckResultWith(ctx, src, res, cfg)
 			if err == nil {
 				g.Cell = orig // masked downstream; try another injection site
 				continue

@@ -53,6 +53,7 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
+	bddf := addBDDFlags(fs)
 	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,13 +108,14 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		Workers:      *workers,
 		Library:      lib,
 		Obs:          sc,
+		BDD:          bddf.config(),
 	})
 	if err != nil {
 		return timeoutError(*timeout, err)
 	}
 	if *verify {
 		span := sc.StartCtx(ctx, "verify-source")
-		err := core.VerifyAgainstSource(ctx, src, res)
+		err := core.VerifyAgainstSourceWith(ctx, src, res, bddf.config())
 		span.End()
 		if err != nil {
 			return timeoutError(*timeout, err)

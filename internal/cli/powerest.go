@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 
+	"powermap/internal/bdd"
 	"powermap/internal/blif"
 	"powermap/internal/huffman"
 	"powermap/internal/network"
@@ -29,11 +30,13 @@ func Powerest(args []string, out, errOut io.Writer) error {
 		perNode  = fs.Bool("nodes", false, "print per-node probabilities and activities")
 		top      = fs.Int("top", 10, "print the N most active nodes")
 		mc       = fs.Int("mc", 0, "cross-check against N Monte-Carlo vectors")
+		approx   = fs.Int("approx", 0, "on a BDD node-limit failure, fall back to approximate activities from N Monte-Carlo vectors (0 = fail instead)")
 		workers  = fs.Int("workers", 1, "Monte-Carlo worker pool size; >1 switches to the chunked parallel stream (0 = all CPUs)")
 		timeout  = fs.Duration("timeout", 0, "abort the estimation after this duration (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
+	bddf := addBDDFlags(fs)
 	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,10 +75,38 @@ func Powerest(args []string, out, errOut io.Writer) error {
 	defer cancel()
 	ctx = obs.WithScope(ctx, sc)
 	span := sc.StartCtx(ctx, "powerest.exact")
-	_, err = prob.ComputeContext(ctx, nw, probs, st)
+	_, err = prob.ComputeWith(ctx, nw, probs, st, bddf.config())
 	span.End()
+	approximated := false
 	if err != nil {
-		return timeoutError(*timeout, err)
+		if *approx <= 0 || !bdd.IsNodeLimit(err) {
+			return timeoutError(*timeout, err)
+		}
+		// The network is too wide for exact global BDDs under the current
+		// limit: fall back to Monte-Carlo probability estimates instead of
+		// failing, as promised by the diagnostic.
+		fmt.Fprintf(errOut, "powerest: %v\n", err)
+		fmt.Fprintf(errOut, "powerest: falling back to approximate activities (%d Monte-Carlo vectors)\n", *approx)
+		span := sc.StartCtx(ctx, "powerest.approx-fallback")
+		span.SetAttr("vectors", *approx)
+		est, aerr := sim.Activities(nw, probs, *approx, 1)
+		span.End()
+		if aerr != nil {
+			return timeoutError(*timeout, aerr)
+		}
+		for _, n := range nw.TopoOrder() {
+			e := est[n]
+			n.Prob1 = e.Prob1
+			switch st {
+			case huffman.Static:
+				n.Activity = e.Activity // measured toggle rate
+			case huffman.DominoP:
+				n.Activity = e.Prob1
+			default:
+				n.Activity = 1 - e.Prob1
+			}
+		}
+		approximated = true
 	}
 
 	var internals []*network.Node
@@ -88,6 +119,9 @@ func Powerest(args []string, out, errOut io.Writer) error {
 	}
 	s := nw.Stats()
 	fmt.Fprintf(out, "circuit %s: %d PI, %d PO, %d nodes (%s style)\n", nw.Name, s.PIs, s.POs, s.Nodes, st)
+	if approximated {
+		fmt.Fprintf(out, "activities are approximate (%d Monte-Carlo vectors; exact BDDs exceeded the node limit)\n", *approx)
+	}
 	fmt.Fprintf(out, "total internal switching activity: %.4f\n", total)
 	if len(internals) > 0 {
 		fmt.Fprintf(out, "mean activity per node: %.4f\n", total/float64(len(internals)))

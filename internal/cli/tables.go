@@ -30,6 +30,7 @@ func Tables(args []string, out, errOut io.Writer) error {
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
+	bddf := addBDDFlags(fs)
 	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +83,7 @@ func Tables(args []string, out, errOut io.Writer) error {
 	}
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
-	base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, Workers: *workers, Obs: sc}
+	base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, Workers: *workers, Obs: sc, BDD: bddf.config()}
 	rows, err := eval.RunSuite(ctx, core.Methods(), base, names)
 	if err != nil {
 		// On expiry eval reports how many of the suite's runs completed

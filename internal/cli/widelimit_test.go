@@ -1,0 +1,112 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powermap/internal/bdd"
+	"powermap/internal/blif"
+	"powermap/internal/verify"
+)
+
+// writeWideBlif writes a deliberately too-wide random network — 40 primary
+// inputs feeding 60 nodes — whose global BDDs blow through a small node
+// limit long before completion.
+func writeWideBlif(t *testing.T) string {
+	t.Helper()
+	nw := verify.RandomNetwork("toowide", verify.RandConfig{
+		Seed: 7, PIs: 40, Nodes: 60, MaxFanin: 4, Depth: 5, Outputs: 4,
+	})
+	path := filepath.Join(t.TempDir(), "wide.blif")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blif.Write(f, nw); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPmapTooWideFailsCleanly drives the full pmap flow into the BDD node
+// limit and demands a diagnostic error, never a panic: the limit must
+// surface as bdd.ErrNodeLimit end to end with the fallback hint attached.
+func TestPmapTooWideFailsCleanly(t *testing.T) {
+	path := writeWideBlif(t)
+	var out, errOut bytes.Buffer
+	err := Pmap([]string{"-blif", path, "-method", "I", "-bdd-limit", "128"}, &out, &errOut)
+	if err == nil {
+		t.Fatal("pmap accepted a network wider than the node limit")
+	}
+	if !bdd.IsNodeLimit(err) {
+		t.Fatalf("error does not carry bdd.ErrNodeLimit: %v", err)
+	}
+	if !strings.Contains(err.Error(), "node limit") {
+		t.Errorf("diagnostic missing from error: %v", err)
+	}
+}
+
+// TestPcheckTooWideFailsCleanly runs the verification oracle into the node
+// limit; pcheck must return the wrapped limit error so the command exits
+// nonzero with a diagnostic instead of crashing.
+func TestPcheckTooWideFailsCleanly(t *testing.T) {
+	path := writeWideBlif(t)
+	var out, errOut bytes.Buffer
+	err := Pcheck([]string{"-blif", path, "-methods", "I", "-bdd-limit", "128"}, &out, &errOut)
+	if err == nil {
+		t.Fatal("pcheck accepted a network wider than the node limit")
+	}
+	if !bdd.IsNodeLimit(err) {
+		t.Fatalf("error does not carry bdd.ErrNodeLimit: %v", err)
+	}
+}
+
+// TestPowerestApproxFallback checks both halves of the -approx contract:
+// without it a too-wide network is a clean node-limit error; with it the
+// command succeeds and labels its activities as Monte-Carlo approximations.
+func TestPowerestApproxFallback(t *testing.T) {
+	path := writeWideBlif(t)
+
+	var out, errOut bytes.Buffer
+	err := Powerest([]string{"-blif", path, "-bdd-limit", "128"}, &out, &errOut)
+	if err == nil {
+		t.Fatal("powerest without -approx accepted a too-wide network")
+	}
+	if !bdd.IsNodeLimit(err) {
+		t.Fatalf("error does not carry bdd.ErrNodeLimit: %v", err)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	err = Powerest([]string{"-blif", path, "-bdd-limit", "128", "-approx", "512"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("-approx fallback failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "activities are approximate") {
+		t.Errorf("fallback output not labeled approximate:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "falling back to approximate activities") {
+		t.Errorf("fallback not announced on the diagnostic stream:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "total internal switching activity") {
+		t.Errorf("fallback produced no activity report:\n%s", out.String())
+	}
+}
+
+// TestPmapReorderFlag runs a real benchmark with -reorder to confirm the
+// flag is plumbed end to end and the reordering flow still verifies.
+func TestPmapReorderFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := Pmap([]string{"-circuit", "cm42a", "-method", "I", "-reorder"}, &out, &errOut); err != nil {
+		t.Fatalf("pmap -reorder: %v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "mapped:") {
+		t.Errorf("missing mapped report:\n%s", out.String())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 
+	"powermap/internal/bdd"
 	"powermap/internal/decomp"
 	"powermap/internal/genlib"
 	"powermap/internal/huffman"
@@ -144,6 +145,12 @@ type Options struct {
 	// worker per CPU; 1 reproduces the sequential pipeline exactly. Results
 	// are identical for every worker count.
 	Workers int
+	// BDD tunes the kernel behind every exact probability model and
+	// equivalence check in the run: node limit (an over-wide network then
+	// surfaces as a wrapped bdd.ErrNodeLimit, never a panic), GC
+	// thresholds, and dynamic variable reordering by sifting. The zero
+	// value keeps the kernel defaults.
+	BDD bdd.Config
 }
 
 // Float64 returns a pointer to v, for optional fields like Options.Relax.
@@ -220,6 +227,7 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 		Strash:   o.Strash,
 		Obs:      sc,
 		Workers:  o.Workers,
+		BDD:      o.BDD,
 	})
 	if err != nil {
 		span.End()
@@ -270,14 +278,20 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 // original network's outputs (BDD equivalence of the optimized network vs
 // the source; the mapped netlist is verified gate-by-gate in Synthesize).
 func VerifyAgainstSource(ctx context.Context, src *network.Network, res *Result) error {
-	ok, err := prob.EquivalentOutputs(ctx, src, res.Optimized)
+	return VerifyAgainstSourceWith(ctx, src, res, bdd.Config{})
+}
+
+// VerifyAgainstSourceWith is VerifyAgainstSource with an explicit BDD
+// kernel configuration for the equivalence managers.
+func VerifyAgainstSourceWith(ctx context.Context, src *network.Network, res *Result, cfg bdd.Config) error {
+	ok, err := prob.EquivalentOutputsWith(ctx, src, res.Optimized, cfg)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return fmt.Errorf("core: optimized network is not equivalent to the source")
 	}
-	ok, err = prob.EquivalentOutputs(ctx, src, res.Decomp.Network)
+	ok, err = prob.EquivalentOutputsWith(ctx, src, res.Decomp.Network, cfg)
 	if err != nil {
 		return err
 	}

@@ -43,6 +43,20 @@ type builderSet[S any] struct {
 	strategy    Strategy
 	quasiLinear bool // plain Huffman is optimal; otherwise Modified Huffman
 	obs         *obs.Scope
+	// kernelErr reports a deferred BDD kernel failure after a batch of
+	// merges. The huffman Algebra interface is infallible by design, so
+	// the exact builder latches the first kernel error (node limit) inside
+	// its ops adapter and plan/rebuild surface it here; nil for algebras
+	// that cannot fail.
+	kernelErr func() error
+}
+
+// checkKernel surfaces a latched kernel error, if any.
+func (b *builderSet[S]) checkKernel() error {
+	if b.kernelErr == nil {
+		return nil
+	}
+	return b.kernelErr()
 }
 
 func (b *builderSet[S]) build(alg huffman.Algebra[S], leaves []S) *huffman.Tree[S] {
@@ -86,7 +100,7 @@ func (b *builderSet[S]) plan(p *plan) error {
 		p.orShape = shapeOf(t)
 	}
 	p.rebuild = func(limit int) (bool, error) { return b.rebuildBounded(p, limit) }
-	return nil
+	return b.checkKernel()
 }
 
 // telemetry returns a fresh huffman.Telemetry when observability is
@@ -134,6 +148,9 @@ func (b *builderSet[S]) rebuildBounded(p *plan, limit int) (bool, error) {
 			return false, nil
 		}
 		t, err := huffman.BuildBoundedObserved(b.and, leafStatesOf(cube), limit, modified, tel)
+		if kerr := b.checkKernel(); kerr != nil {
+			return false, kerr
+		}
 		if err != nil {
 			return false, nil
 		}
@@ -190,6 +207,9 @@ func (b *builderSet[S]) rebuildBounded(p *plan, limit int) (bool, error) {
 			bestOr = shapeOf(orTree)
 		}
 	}
+	if err := b.checkKernel(); err != nil {
+		return false, err
+	}
 	if bestOr == nil {
 		return false, nil
 	}
@@ -217,32 +237,76 @@ func newSignalBuilder(opt Options) *builderSet[huffman.Signal] {
 	}
 }
 
+// bddOps adapts the error-returning BDD kernel to the infallible
+// huffman.Algebra interface: the first failure (node limit) is latched and
+// every subsequent operation short-circuits to bdd.False. Callers check
+// err after a construction batch via builderSet.checkKernel — the tree
+// built after a latched error is garbage, but it is never used because the
+// error aborts the plan.
+type bddOps struct {
+	mgr *bdd.Manager
+	err error
+}
+
+func (o *bddOps) lift2(f func(a, b bdd.Ref) (bdd.Ref, error)) func(a, b bdd.Ref) bdd.Ref {
+	return func(a, b bdd.Ref) bdd.Ref {
+		if o.err != nil {
+			return bdd.False
+		}
+		r, err := f(a, b)
+		if err != nil {
+			o.err = err
+			return bdd.False
+		}
+		return r
+	}
+}
+
+func (o *bddOps) not(r bdd.Ref) bdd.Ref {
+	if o.err != nil {
+		return bdd.False
+	}
+	n, err := o.mgr.Not(r)
+	if err != nil {
+		o.err = err
+		return bdd.False
+	}
+	return n
+}
+
 // newExactBuilder prices merges with global-BDD probabilities, capturing
 // structural correlations between the node's fanins exactly — the BDD
 // alternative the paper offers to the Equation 9 heuristic.
 func newExactBuilder(model *prob.Model, opt Options) *builderSet[bdd.Ref] {
-	mgr := model.Manager()
+	ops := &bddOps{mgr: model.Manager()}
 	return &builderSet[bdd.Ref]{
 		and: counted[bdd.Ref](opt.Obs, huffman.OracleAlgebra[bdd.Ref]{
-			MergeFn: mgr.And,
+			MergeFn: ops.lift2(ops.mgr.And),
 			CostFn:  model.ActivityOfRef,
 		}),
 		or: counted[bdd.Ref](opt.Obs, huffman.OracleAlgebra[bdd.Ref]{
-			MergeFn: mgr.Or,
+			MergeFn: ops.lift2(ops.mgr.Or),
 			CostFn:  model.ActivityOfRef,
 		}),
 		leafState: func(lit literal) bdd.Ref {
 			r, ok := model.Global(lit.node)
 			if !ok {
-				panic(fmt.Sprintf("decomp: leaf %s has no global BDD", lit.node.Name))
+				// The planner registers every fanin before planning, so a
+				// missing global is a programming error, not bad input;
+				// latch it like a kernel failure so plan() reports it.
+				if ops.err == nil {
+					ops.err = fmt.Errorf("decomp: leaf %s has no global BDD", lit.node.Name)
+				}
+				return bdd.False
 			}
 			if lit.neg {
-				return mgr.Not(r)
+				return ops.not(r)
 			}
 			return r
 		},
 		strategy:    opt.Strategy,
 		quasiLinear: false,
 		obs:         opt.Obs,
+		kernelErr:   func() error { return ops.err },
 	}
 }

@@ -99,6 +99,11 @@ type Options struct {
 	// plans with one worker (the shared BDD manager is not safe for
 	// concurrent use). Plans are identical for every worker count.
 	Workers int
+	// BDD tunes the kernel behind every probability model this run builds:
+	// node limit (an over-wide network then surfaces as a wrapped
+	// bdd.ErrNodeLimit, never a panic), GC thresholds, and dynamic
+	// variable reordering by sifting. The zero value keeps the defaults.
+	BDD bdd.Config
 }
 
 // flushBDDStats folds one BDD manager's work counters into the metrics
@@ -112,7 +117,13 @@ func flushBDDStats(sc *obs.Scope, m *bdd.Manager) {
 	sc.Counter("bdd.unique_hits").Add(st.UniqueHits)
 	sc.Counter("bdd.cache_hits").Add(st.CacheHits)
 	sc.Counter("bdd.cache_misses").Add(st.CacheMisses)
-	sc.Gauge("bdd.nodes_live_max").SetMax(float64(m.NumNodes()))
+	sc.Counter("bdd.gc_runs").Add(st.GCRuns)
+	sc.Counter("bdd.nodes_freed").Add(st.NodesFreed)
+	sc.Counter("bdd.reorder_runs").Add(st.ReorderRuns)
+	sc.Counter("bdd.reorder_swaps").Add(st.ReorderSwaps)
+	sc.Counter("bdd.cache_resets").Add(st.CacheResets)
+	sc.Gauge("bdd.nodes_live_max").SetMax(float64(st.PeakLive) + 2)
+	sc.Gauge("bdd.cache_entries_max").SetMax(float64(st.CacheEntries))
 }
 
 // Result is the outcome of a decomposition.
@@ -250,7 +261,7 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 		return nil, fmt.Errorf("decomp: input network: %w", err)
 	}
 	span := sc.StartCtx(ctx, "decomp.probabilities")
-	model, err := prob.ComputeContext(ctx, cp, opt.PIProb, opt.Style)
+	model, err := prob.ComputeWith(ctx, cp, opt.PIProb, opt.Style, opt.BDD)
 	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("decomp: %w", err)
@@ -351,7 +362,7 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 	}
 
 	span = sc.StartCtx(ctx, "decomp.final-probabilities")
-	final, err := prob.ComputeContext(ctx, cp, opt.PIProb, opt.Style)
+	final, err := prob.ComputeWith(ctx, cp, opt.PIProb, opt.Style, opt.BDD)
 	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("decomp: final probabilities: %w", err)
@@ -376,7 +387,7 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 // andOrActivity sums the exact switching activity over the internal nodes
 // of the materialized AND/OR network (the Section 2 objective value).
 func andOrActivity(ctx context.Context, cp *network.Network, opt Options) (float64, error) {
-	m, err := prob.ComputeContext(ctx, cp, opt.PIProb, opt.Style)
+	m, err := prob.ComputeWith(ctx, cp, opt.PIProb, opt.Style, opt.BDD)
 	if err != nil {
 		return 0, fmt.Errorf("decomp: AND/OR activities: %w", err)
 	}

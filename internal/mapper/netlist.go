@@ -177,7 +177,10 @@ func (nl *Netlist) Verify(model *prob.Model) error {
 			}
 			pinRefs[g.Cell.Pins[pin].Name] = r
 		}
-		got := exprBDD(mgr, g.Cell.Expr, pinRefs)
+		got, err := exprBDD(mgr, g.Cell.Expr, pinRefs)
+		if err != nil {
+			return fmt.Errorf("mapper: verifying gate %s (%s): %w", g.Root.Name, g.Cell.Name, err)
+		}
 		want, ok := model.Global(g.Root)
 		if !ok {
 			return fmt.Errorf("mapper: root %s has no global BDD", g.Root.Name)
@@ -239,24 +242,40 @@ func (nl *Netlist) ToNetwork() (*network.Network, error) {
 	return out, nil
 }
 
-func exprBDD(mgr *bdd.Manager, e *genlib.Expr, pins map[string]bdd.Ref) bdd.Ref {
+func exprBDD(mgr *bdd.Manager, e *genlib.Expr, pins map[string]bdd.Ref) (bdd.Ref, error) {
 	switch e.Op {
 	case genlib.OpVar:
-		return pins[e.Var]
+		return pins[e.Var], nil
 	case genlib.OpNot:
-		return mgr.Not(exprBDD(mgr, e.Kids[0], pins))
+		k, err := exprBDD(mgr, e.Kids[0], pins)
+		if err != nil {
+			return bdd.False, err
+		}
+		return mgr.Not(k)
 	case genlib.OpAnd:
 		r := bdd.True
 		for _, k := range e.Kids {
-			r = mgr.And(r, exprBDD(mgr, k, pins))
+			kr, err := exprBDD(mgr, k, pins)
+			if err != nil {
+				return bdd.False, err
+			}
+			if r, err = mgr.And(r, kr); err != nil {
+				return bdd.False, err
+			}
 		}
-		return r
+		return r, nil
 	default:
 		r := bdd.False
 		for _, k := range e.Kids {
-			r = mgr.Or(r, exprBDD(mgr, k, pins))
+			kr, err := exprBDD(mgr, k, pins)
+			if err != nil {
+				return bdd.False, err
+			}
+			if r, err = mgr.Or(r, kr); err != nil {
+				return bdd.False, err
+			}
 		}
-		return r
+		return r, nil
 	}
 }
 

@@ -12,6 +12,13 @@
 // reconvergent fanout inside the network is handled exactly by the BDDs.
 // This is the repository's stand-in for the Ghosh et al. power estimator
 // the paper used.
+//
+// The model owns a garbage-collected BDD manager: every node's global
+// function is rooted for the model's lifetime, the manager's Maintain hook
+// runs between nodes (collecting build intermediates and, when the caller
+// enabled it via bdd.Config.Reorder, sifting the variable order), and a
+// network too wide for the configured node limit surfaces as a wrapped
+// bdd.ErrNodeLimit instead of a panic.
 package prob
 
 import (
@@ -33,14 +40,20 @@ type Model struct {
 	piIndex map[*network.Node]int
 }
 
+// wideHint is appended to node-limit errors everywhere the prob layer can
+// hit one, so CLI users see the remedy, not just the failure.
+const wideHint = "network too wide for exact global BDDs; raise the node limit, enable reordering, or fall back to approximate activities"
+
 // Compute builds global BDDs for every node reachable from the outputs of
 // nw and annotates each node's Prob1 and Activity fields. piProb supplies
 // P(pi=1) by input name; missing inputs default to 0.5.
 //
-// The BDD variable order follows a depth-first traversal of the network
-// from the outputs (the standard structural ordering heuristic), which
-// keeps related inputs adjacent and the diagrams small.
-func Compute(nw *network.Network, piProb map[string]float64, style huffman.Style) (m *Model, err error) {
+// The initial BDD variable order follows a depth-first traversal of the
+// network from the outputs (the standard structural ordering heuristic),
+// which keeps related inputs adjacent and the diagrams small; dynamic
+// reordering (ComputeWith with Config.Reorder) can improve it further at
+// run time.
+func Compute(nw *network.Network, piProb map[string]float64, style huffman.Style) (*Model, error) {
 	return ComputeContext(context.Background(), nw, piProb, style)
 }
 
@@ -48,24 +61,21 @@ func Compute(nw *network.Network, piProb map[string]float64, style huffman.Style
 // checks ctx between nodes, so a deadline aborts the estimate promptly even
 // on wide networks. One BDD manager is shared across the whole model, so
 // the build itself stays sequential.
-func ComputeContext(ctx context.Context, nw *network.Network, piProb map[string]float64, style huffman.Style) (m *Model, err error) {
-	m = &Model{
+func ComputeContext(ctx context.Context, nw *network.Network, piProb map[string]float64, style huffman.Style) (*Model, error) {
+	return ComputeWith(ctx, nw, piProb, style, bdd.Config{})
+}
+
+// ComputeWith is ComputeContext with an explicit BDD kernel configuration
+// (node limit, GC thresholds, dynamic reordering).
+func ComputeWith(ctx context.Context, nw *network.Network, piProb map[string]float64, style huffman.Style, cfg bdd.Config) (*Model, error) {
+	m := &Model{
 		Style:   style,
-		mgr:     bdd.New(len(nw.PIs)),
+		mgr:     bdd.NewWith(len(nw.PIs), cfg),
 		global:  make(map[*network.Node]bdd.Ref),
 		pis:     append([]*network.Node(nil), nw.PIs...),
 		piIndex: make(map[*network.Node]int),
 		piProb:  make([]float64, len(nw.PIs)),
 	}
-	defer func() {
-		if r := recover(); r != nil {
-			if r == bdd.ErrNodeLimit {
-				m, err = nil, fmt.Errorf("prob: %w (network too wide for exact global BDDs)", bdd.ErrNodeLimit)
-				return
-			}
-			panic(r)
-		}
-	}()
 	for pi, level := range dfsVariableOrder(nw) {
 		m.piIndex[pi] = level
 		p, ok := piProb[pi.Name]
@@ -81,24 +91,56 @@ func ComputeContext(ctx context.Context, nw *network.Network, piProb map[string]
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("prob: %w", err)
 		}
-		switch n.Kind {
-		case network.PI:
-			m.global[n] = m.mgr.Var(m.piIndex[n])
-		default:
-			inputs := make([]bdd.Ref, len(n.Fanin))
-			for i, f := range n.Fanin {
-				g, ok := m.global[f]
-				if !ok {
-					return nil, fmt.Errorf("prob: fanin %s of %s visited out of order", f.Name, n.Name)
-				}
-				inputs[i] = g
-			}
-			m.global[n] = m.mgr.FromCover(n.Func, inputs)
+		if err := m.build(n); err != nil {
+			return nil, err
 		}
-		n.Prob1 = m.mgr.Prob(m.global[n], m.piProb)
-		n.Activity = m.activityOf(n.Prob1)
+		// All node globals are rooted, so housekeeping between nodes is
+		// safe: GC reclaims only build intermediates, reordering (when
+		// enabled) preserves every Ref's function.
+		m.mgr.Maintain()
 	}
 	return m, nil
+}
+
+// build constructs and roots n's global BDD and annotates the node.
+func (m *Model) build(n *network.Node) error {
+	var r bdd.Ref
+	var err error
+	switch n.Kind {
+	case network.PI:
+		r, err = m.mgr.Var(m.piIndex[n])
+	default:
+		inputs := make([]bdd.Ref, len(n.Fanin))
+		for i, f := range n.Fanin {
+			g, ok := m.global[f]
+			if !ok {
+				return fmt.Errorf("prob: fanin %s of %s visited out of order", f.Name, n.Name)
+			}
+			inputs[i] = g
+		}
+		r, err = m.mgr.FromCover(n.Func, inputs)
+	}
+	if err != nil {
+		return wideErr("building global BDD of "+n.Name, err)
+	}
+	m.global[n] = r
+	m.mgr.Protect(r) // rooted for the model's lifetime
+	p1, err := m.mgr.Prob(r, m.piProb)
+	if err != nil {
+		return fmt.Errorf("prob: %s: %w", n.Name, err)
+	}
+	n.Prob1 = p1
+	n.Activity = m.activityOf(p1)
+	return nil
+}
+
+// wideErr wraps kernel errors, attaching the too-wide remedy hint to
+// node-limit failures so it survives to the CLI surface.
+func wideErr(doing string, err error) error {
+	if bdd.IsNodeLimit(err) {
+		return fmt.Errorf("prob: %s: %w (%s)", doing, err, wideHint)
+	}
+	return fmt.Errorf("prob: %s: %w", doing, err)
 }
 
 // dfsVariableOrder assigns each primary input a BDD level by first
@@ -159,17 +201,27 @@ func (m *Model) Prob1(n *network.Node) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("prob: node %s has no global BDD", n.Name)
 	}
-	return m.mgr.Prob(r, m.piProb), nil
+	return m.mgr.Prob(r, m.piProb)
 }
 
 // ActivityOfRef returns the switching activity of an arbitrary global
 // function under the model's style.
 func (m *Model) ActivityOfRef(r bdd.Ref) float64 {
-	return m.activityOf(m.mgr.Prob(r, m.piProb))
+	return m.activityOf(m.Prob1OfRef(r))
 }
 
 // Prob1OfRef returns the 1-probability of an arbitrary global function.
-func (m *Model) Prob1OfRef(r bdd.Ref) float64 { return m.mgr.Prob(r, m.piProb) }
+// The model's own probability vector always matches its manager, so the
+// traversal cannot fail.
+func (m *Model) Prob1OfRef(r bdd.Ref) float64 {
+	p, err := m.mgr.Prob(r, m.piProb)
+	if err != nil {
+		// Unreachable by construction; surface loudly in tests if the
+		// invariant is ever broken rather than silently returning 0.
+		panic(err)
+	}
+	return p
+}
 
 // JointProb returns P(a=1 ∧ b=1) exactly, used to seed the correlated
 // decomposition algebra with pairwise joints of a node's fanins.
@@ -182,13 +234,17 @@ func (m *Model) JointProb(a, b *network.Node) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("prob: node %s has no global BDD", b.Name)
 	}
-	return m.mgr.Prob(m.mgr.And(ra, rb), m.piProb), nil
+	ab, err := m.mgr.And(ra, rb)
+	if err != nil {
+		return 0, wideErr(fmt.Sprintf("joint of %s and %s", a.Name, b.Name), err)
+	}
+	return m.mgr.Prob(ab, m.piProb)
 }
 
 // PIProbs returns the per-PI probability vector in PI declaration order.
-// The internal vector is indexed by BDD level (DFS encounter order from the
-// outputs), which generally differs from declaration order, so each entry is
-// remapped through the level index.
+// The internal vector is indexed by BDD variable (DFS encounter order from
+// the outputs), which generally differs from declaration order, so each
+// entry is remapped through the variable index.
 func (m *Model) PIProbs() []float64 {
 	out := make([]float64, len(m.pis))
 	for i, pi := range m.pis {
@@ -221,11 +277,10 @@ func (m *Model) Register(n *network.Node) (bdd.Ref, error) {
 	if n.Func == nil {
 		return 0, fmt.Errorf("prob: node %s has no function to register", n.Name)
 	}
-	r := m.mgr.FromCover(n.Func, inputs)
-	m.global[n] = r
-	n.Prob1 = m.mgr.Prob(r, m.piProb)
-	n.Activity = m.activityOf(n.Prob1)
-	return r, nil
+	if err := m.build(n); err != nil {
+		return 0, err
+	}
+	return m.global[n], nil
 }
 
 // EquivalentOutputs checks that two networks over the same PIs compute
@@ -233,6 +288,13 @@ func (m *Model) Register(n *network.Node) (bdd.Ref, error) {
 // manager. Outputs are matched by name. The ctx is checked between nodes,
 // so a deadline aborts the check mid-build.
 func EquivalentOutputs(ctx context.Context, a, b *network.Network) (bool, error) {
+	return EquivalentOutputsWith(ctx, a, b, bdd.Config{})
+}
+
+// EquivalentOutputsWith is EquivalentOutputs with an explicit BDD kernel
+// configuration; an over-wide pair of networks yields a wrapped
+// bdd.ErrNodeLimit instead of a panic.
+func EquivalentOutputsWith(ctx context.Context, a, b *network.Network, cfg bdd.Config) (bool, error) {
 	if len(a.PIs) != len(b.PIs) {
 		return false, fmt.Errorf("prob: PI count mismatch %d vs %d", len(a.PIs), len(b.PIs))
 	}
@@ -240,26 +302,38 @@ func EquivalentOutputs(ctx context.Context, a, b *network.Network) (bool, error)
 	for i, pi := range a.PIs {
 		index[pi.Name] = i
 	}
-	mgr := bdd.New(len(a.PIs))
+	mgr := bdd.NewWith(len(a.PIs), cfg)
 	build := func(nw *network.Network) (map[string]bdd.Ref, error) {
 		global := make(map[*network.Node]bdd.Ref)
 		for _, n := range nw.TopoOrder() {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("prob: %w", err)
 			}
+			var r bdd.Ref
+			var err error
 			if n.Kind == network.PI {
 				i, ok := index[n.Name]
 				if !ok {
 					return nil, fmt.Errorf("prob: PI %s missing from reference network", n.Name)
 				}
-				global[n] = mgr.Var(i)
-				continue
+				r, err = mgr.Var(i)
+			} else {
+				inputs := make([]bdd.Ref, len(n.Fanin))
+				for i, f := range n.Fanin {
+					inputs[i] = global[f]
+				}
+				r, err = mgr.FromCover(n.Func, inputs)
 			}
-			inputs := make([]bdd.Ref, len(n.Fanin))
-			for i, f := range n.Fanin {
-				inputs[i] = global[f]
+			if err != nil {
+				return nil, wideErr("equivalence BDD of "+n.Name, err)
 			}
-			global[n] = mgr.FromCover(n.Func, inputs)
+			global[n] = r
+			mgr.Protect(r)
+			// Only GC between nodes here: output refs from the first
+			// network must stay comparable to the second build's, and
+			// reordering in a comparison manager buys nothing (the refs
+			// are discarded immediately after the == checks).
+			mgr.Maintain()
 		}
 		outs := make(map[string]bdd.Ref, len(nw.Outputs))
 		for _, o := range nw.Outputs {

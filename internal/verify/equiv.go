@@ -52,7 +52,16 @@ func (e *MismatchError) Witness() map[string]bool {
 // *MismatchError carrying a counterexample cube extracted from the XOR of
 // the two output functions; structural problems (PI/output mismatches)
 // yield ordinary errors. A nil return is a proof of equivalence.
+//
+// An over-wide pair of networks surfaces as a wrapped bdd.ErrNodeLimit
+// (never a panic); use EquivalentWith to raise the limit or enable dynamic
+// reordering for such cases.
 func Equivalent(ctx context.Context, ref, impl *network.Network) error {
+	return EquivalentWith(ctx, ref, impl, bdd.Config{})
+}
+
+// EquivalentWith is Equivalent with an explicit BDD kernel configuration.
+func EquivalentWith(ctx context.Context, ref, impl *network.Network, cfg bdd.Config) error {
 	if len(ref.PIs) != len(impl.PIs) {
 		return fmt.Errorf("verify: PI count mismatch: %d vs %d", len(ref.PIs), len(impl.PIs))
 	}
@@ -61,26 +70,37 @@ func Equivalent(ctx context.Context, ref, impl *network.Network) error {
 	for i, name := range piNames {
 		index[name] = i
 	}
-	mgr := bdd.New(len(piNames))
+	mgr := bdd.NewWith(len(piNames), cfg)
 	build := func(nw *network.Network) (map[string]bdd.Ref, error) {
 		global := make(map[*network.Node]bdd.Ref)
 		for _, n := range nw.TopoOrder() {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("verify: %w", err)
 			}
+			var r bdd.Ref
+			var err error
 			if n.Kind == network.PI {
 				i, ok := index[n.Name]
 				if !ok {
 					return nil, fmt.Errorf("verify: PI %s missing from reference network", n.Name)
 				}
-				global[n] = mgr.Var(i)
-				continue
+				r, err = mgr.Var(i)
+			} else {
+				inputs := make([]bdd.Ref, len(n.Fanin))
+				for i, f := range n.Fanin {
+					inputs[i] = global[f]
+				}
+				r, err = mgr.FromCover(n.Func, inputs)
 			}
-			inputs := make([]bdd.Ref, len(n.Fanin))
-			for i, f := range n.Fanin {
-				inputs[i] = global[f]
+			if err != nil {
+				if bdd.IsNodeLimit(err) {
+					return nil, fmt.Errorf("verify: building BDD of %s: %w (networks too wide for the equivalence oracle; raise the node limit or enable reordering)", n.Name, err)
+				}
+				return nil, fmt.Errorf("verify: building BDD of %s: %w", n.Name, err)
 			}
-			global[n] = mgr.FromCover(n.Func, inputs)
+			global[n] = r
+			mgr.Protect(r)
+			mgr.Maintain()
 		}
 		outs := make(map[string]bdd.Ref, len(nw.Outputs))
 		for _, o := range nw.Outputs {
@@ -110,7 +130,11 @@ func Equivalent(ctx context.Context, ref, impl *network.Network) error {
 		if ra == rb {
 			continue
 		}
-		cube, ok := mgr.AnySat(mgr.Xor(ra, rb))
+		diff, err := mgr.Xor(ra, rb)
+		if err != nil {
+			return fmt.Errorf("verify: extracting counterexample for %s: %w", o.Name, err)
+		}
+		cube, ok := mgr.AnySat(diff)
 		if !ok {
 			// Distinct refs always differ somewhere (ROBDD canonicity).
 			return fmt.Errorf("verify: output %s differs but no counterexample found", o.Name)

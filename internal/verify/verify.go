@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 
+	"powermap/internal/bdd"
 	"powermap/internal/core"
 	"powermap/internal/network"
 )
@@ -33,10 +34,16 @@ import (
 // stage that broke; equivalence failures are *MismatchError values with a
 // counterexample cube.
 func CheckResult(ctx context.Context, src *network.Network, res *core.Result) error {
-	if err := Equivalent(ctx, src, res.Optimized); err != nil {
+	return CheckResultWith(ctx, src, res, bdd.Config{})
+}
+
+// CheckResultWith is CheckResult with an explicit BDD kernel configuration
+// for the oracle's equivalence managers (node limit, GC, reordering).
+func CheckResultWith(ctx context.Context, src *network.Network, res *core.Result, cfg bdd.Config) error {
+	if err := EquivalentWith(ctx, src, res.Optimized, cfg); err != nil {
 		return fmt.Errorf("optimized network: %w", err)
 	}
-	if err := Equivalent(ctx, src, res.Decomp.Network); err != nil {
+	if err := EquivalentWith(ctx, src, res.Decomp.Network, cfg); err != nil {
 		return fmt.Errorf("decomposed subject graph: %w", err)
 	}
 	mapped, err := res.Netlist.ToNetwork()
@@ -46,7 +53,7 @@ func CheckResult(ctx context.Context, src *network.Network, res *core.Result) er
 	if err := mapped.Check(); err != nil {
 		return fmt.Errorf("reconstructed mapped netlist: %w", err)
 	}
-	if err := Equivalent(ctx, src, mapped); err != nil {
+	if err := EquivalentWith(ctx, src, mapped, cfg); err != nil {
 		return fmt.Errorf("mapped netlist: %w", err)
 	}
 	if err := CheckNetlist(res.Netlist); err != nil {
