@@ -15,8 +15,11 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"powermap/internal/bdd"
@@ -24,6 +27,7 @@ import (
 	"powermap/internal/core"
 	"powermap/internal/eval"
 	"powermap/internal/huffman"
+	"powermap/internal/journal"
 	"powermap/internal/obs"
 	"powermap/internal/prob"
 )
@@ -75,6 +79,14 @@ type Options struct {
 	// without sifting) and records its peak-live-node and GC counters as
 	// manifest metrics.
 	Wide bool
+	// JournalDir, when set, captures decision-provenance journals for the
+	// final repetition only (journaling the timed repetitions would perturb
+	// the phases being measured) and cross-checks the fingerprint counters
+	// against the journal event counts before the manifest is returned.
+	JournalDir string
+	// RunID is stamped into the manifest and every journal header; empty
+	// generates one when JournalDir is set.
+	RunID string
 }
 
 // WideCircuit is the benchmark the wide-BDD workload builds exact global
@@ -145,6 +157,7 @@ type Host struct {
 type Manifest struct {
 	Schema   int      `json:"schema"`
 	Name     string   `json:"name"`
+	RunID    string   `json:"run_id,omitempty"`
 	Date     string   `json:"date,omitempty"`
 	GitRev   string   `json:"git_rev,omitempty"`
 	Command  string   `json:"command,omitempty"`
@@ -180,9 +193,13 @@ func Run(ctx context.Context, opts Options) (*Manifest, error) {
 	if runs < 1 {
 		runs = 1
 	}
+	if opts.JournalDir != "" && opts.RunID == "" {
+		opts.RunID = journal.NewRunID()
+	}
 	m := &Manifest{
 		Schema:   SchemaVersion,
 		Name:     "pipeline",
+		RunID:    opts.RunID,
 		Date:     time.Now().UTC().Format("2006-01-02"),
 		GitRev:   opts.GitRev,
 		Command:  opts.Command,
@@ -205,10 +222,16 @@ func Run(ctx context.Context, opts Options) (*Manifest, error) {
 	for run := 0; run < runs; run++ {
 		sc := obs.New(obs.Config{})
 		base := core.Options{Obs: sc, Workers: opts.Workers}
+		// Journal only the final repetition: the earlier ones supply the
+		// min-of-N timing, and journal writes would perturb them.
+		var jc eval.JournalConfig
+		if opts.JournalDir != "" && run == runs-1 {
+			jc = eval.JournalConfig{Dir: opts.JournalDir, RunID: opts.RunID}
+		}
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		if _, err := eval.RunSuite(ctx, methods, base, circuitNames); err != nil {
+		if _, err := eval.RunSuiteJournaled(ctx, methods, base, circuitNames, jc); err != nil {
 			return nil, fmt.Errorf("bench: run %d: %w", run+1, err)
 		}
 		wall := time.Since(start).Nanoseconds()
@@ -256,7 +279,48 @@ func Run(ctx context.Context, opts Options) (*Manifest, error) {
 			m.Metrics[k] = v
 		}
 	}
+	if opts.JournalDir != "" {
+		if err := crossCheckJournals(opts.JournalDir, m.Metrics); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
+}
+
+// crossCheckJournals verifies the journaled final repetition against the
+// fingerprint counters of the same repetition: the journals must contain
+// exactly one decomp.node event per planned node and one map.site event
+// per selected gate. A mismatch means the provenance stream dropped or
+// duplicated decisions, so the manifest is rejected.
+func crossCheckJournals(dir string, metrics map[string]float64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("bench: journal cross-check: %w", err)
+	}
+	var decompNodes, mapSites float64
+	files := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		run, err := journal.ReadRunFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("bench: journal cross-check: %s: %w", e.Name(), err)
+		}
+		decompNodes += float64(run.Counts[journal.TypeDecompNode])
+		mapSites += float64(run.Counts[journal.TypeMapSite])
+		files++
+	}
+	if files == 0 {
+		return fmt.Errorf("bench: journal cross-check: no .jsonl files in %s", dir)
+	}
+	if want := metrics["decomp.nodes_planned"]; decompNodes != want {
+		return fmt.Errorf("bench: journal cross-check: %g decomp.node events vs decomp.nodes_planned=%g", decompNodes, want)
+	}
+	if want := metrics["mapper.sites_selected"]; mapSites != want {
+		return fmt.Errorf("bench: journal cross-check: %g map.site events vs mapper.sites_selected=%g", mapSites, want)
+	}
+	return nil
 }
 
 // fingerprintMetrics extracts workload-identity metrics from a snapshot:
@@ -266,6 +330,7 @@ func fingerprintMetrics(sn *obs.Snapshot) map[string]float64 {
 		"decomp.nodes_planned":   true,
 		"timing.nodes_annotated": true,
 		"mapper.nodes_covered":   true,
+		"mapper.sites_selected":  true,
 	}
 	out := map[string]float64{}
 	for key, v := range sn.Counters {

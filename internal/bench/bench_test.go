@@ -223,3 +223,43 @@ func TestWideWorkload(t *testing.T) {
 		t.Errorf("wide workload never triggered reordering: %v", wide)
 	}
 }
+
+func TestRunJournalCrossCheck(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Run(context.Background(), Options{
+		Circuits:   []string{"x2"},
+		Methods:    []core.Method{core.MethodI},
+		Runs:       2, // only the final repetition is journaled
+		Workers:    1,
+		JournalDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RunID == "" {
+		t.Error("manifest run_id not stamped")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonl int
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".jsonl" {
+			jsonl++
+		}
+	}
+	if jsonl != 2 { // x2-ref.jsonl + x2-I.jsonl
+		t.Errorf("journal dir holds %d .jsonl files, want 2", jsonl)
+	}
+	if m.Metrics["mapper.sites_selected"] <= 0 {
+		t.Errorf("fingerprint missing mapper.sites_selected: %v", m.Metrics)
+	}
+	// The cross-check inside Run must reject a tampered journal set.
+	if err := os.Remove(filepath.Join(dir, "x2-I.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	if err := crossCheckJournals(dir, m.Metrics); err == nil {
+		t.Error("cross-check accepted a journal set with a missing file")
+	}
+}

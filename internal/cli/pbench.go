@@ -34,18 +34,27 @@ func Pbench(args []string, out, errOut io.Writer) error {
 		gitRev    = fs.String("rev", "", "git revision to record in the manifest")
 		note      = fs.String("note", "", "free-form note to record in the manifest")
 		wide      = fs.Bool("wide", true, "also run the wide-BDD workload and record peak-node/GC/reorder metrics")
+		jdir      = fs.String("journal-dir", "", "directory receiving the final run's decision journals, cross-checked against the fingerprint counters")
+		runID     = fs.String("run-id", "", "run identifier stamped into the manifest and journal headers (default: generated when -journal-dir is set)")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := bench.Options{
-		Runs:    *runs,
-		Workers: *workers,
-		GitRev:  *gitRev,
-		Note:    *note,
-		Wide:    *wide,
-		Command: "pbench " + strings.Join(args, " "),
+		Runs:       *runs,
+		Workers:    *workers,
+		GitRev:     *gitRev,
+		Note:       *note,
+		Wide:       *wide,
+		JournalDir: *jdir,
+		RunID:      *runID,
+		Command:    "pbench " + strings.Join(args, " "),
+	}
+	if *jdir != "" {
+		if err := os.MkdirAll(*jdir, 0o755); err != nil {
+			return err
+		}
 	}
 	if *quick {
 		opts.Circuits = bench.QuickCircuits
@@ -93,6 +102,9 @@ func Pbench(args []string, out, errOut io.Writer) error {
 	}
 	fmt.Fprintf(out, "suite wall (best of %d): %.1f ms, alloc %.1f MB — manifest written to %s\n",
 		m.Runs, float64(m.WallNs)/1e6, float64(m.AllocBytes)/(1<<20), *outPath)
+	if *jdir != "" {
+		fmt.Fprintf(out, "decision journals written to %s (run %s, cross-checked against fingerprint counters)\n", *jdir, m.RunID)
+	}
 
 	if baseline == nil {
 		return nil

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"strings"
 
 	"powermap/internal/bdd"
@@ -13,6 +14,7 @@ import (
 	"powermap/internal/core"
 	"powermap/internal/genlib"
 	"powermap/internal/huffman"
+	"powermap/internal/journal"
 	"powermap/internal/network"
 	"powermap/internal/obs"
 	"powermap/internal/verify"
@@ -42,6 +44,7 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 		randomN  = fs.Int("random", 0, "also verify N seeded random networks end to end")
 		huffN    = fs.Int("huffman", 0, "also check N Huffman/package-merge instances against the enumeration oracle")
 		seed     = fs.Int64("seed", 1, "base seed for -random and -huffman")
+		jpath    = fs.String("journal", "", "write decision-provenance journals (JSONL) to this path; with multiple checks the circuit and method are appended to the name")
 		inject   = fs.Bool("inject", false, "corrupt one mapped gate before checking; the checker must reject it (self-test, always exits nonzero)")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
@@ -69,6 +72,38 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 		return err
 	}
 	sc := tel.scope(errOut)
+	// Synthesis checks each get their own journal. A single check uses
+	// -journal verbatim; multiple checks derive per-check file names so the
+	// journals don't overwrite each other.
+	synthChecks := *randomN
+	if *blifPath != "" || *circuit != "" {
+		synthChecks += len(methods)
+	}
+	openCheckJournal := func(name string, m core.Method) (*journal.Journal, error) {
+		if *jpath == "" {
+			return nil, nil
+		}
+		path := *jpath
+		if synthChecks > 1 {
+			ext := filepath.Ext(path)
+			path = strings.TrimSuffix(path, ext) + "-" + name + "-" + m.String() + ext
+		}
+		jr, err := journal.Create(path, journal.Header{
+			RunID:     tel.resolveRunID(),
+			Circuit:   name,
+			Method:    m.String(),
+			Strategy:  m.Decomposition().String(),
+			Objective: m.Mapping().String(),
+			Style:     st.String(),
+			Stage:     "pcheck",
+			Workers:   *workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		jr.SetObs(sc)
+		return jr, nil
+	}
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
 	ctx = obs.WithScope(ctx, sc)
@@ -79,7 +114,14 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 			return err
 		}
 		for _, m := range methods {
-			err := checkOne(ctx, out, src, lib, m, st, *tree, relax, *workers, *inject, sc, bddf.config())
+			jr, err := openCheckJournal(src.Name, m)
+			if err != nil {
+				return err
+			}
+			err = checkOne(ctx, out, src, lib, m, st, *tree, relax, *workers, *inject, sc, jr, bddf.config())
+			if cerr := jr.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("journal: %w", cerr)
+			}
 			if err != nil {
 				return timeoutError(*timeout, err)
 			}
@@ -92,7 +134,14 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 		s := *seed + int64(i)
 		src := verify.RandomNetwork(fmt.Sprintf("rand%04d", s), verify.RandConfig{Seed: s})
 		m := methods[i%len(methods)]
-		err := checkOne(ctx, out, src, lib, m, st, i%2 == 1, relax, *workers, false, sc, bddf.config())
+		jr, err := openCheckJournal(src.Name, m)
+		if err != nil {
+			return err
+		}
+		err = checkOne(ctx, out, src, lib, m, st, i%2 == 1, relax, *workers, false, sc, jr, bddf.config())
+		if cerr := jr.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("journal: %w", cerr)
+		}
 		if err != nil {
 			return timeoutError(*timeout, err)
 		}
@@ -139,7 +188,7 @@ func parseMethods(s string) ([]core.Method, error) {
 // consistency. With inject it corrupts the mapped netlist first and demands
 // the checker reject it.
 func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *genlib.Library,
-	m core.Method, st huffman.Style, tree bool, relax *float64, workers int, inject bool, sc *obs.Scope, cfg bdd.Config) error {
+	m core.Method, st huffman.Style, tree bool, relax *float64, workers int, inject bool, sc *obs.Scope, jr *journal.Journal, cfg bdd.Config) error {
 	ctx = obs.WithLabels(ctx, "circuit", src.Name, "method", m.String())
 	span := sc.StartCtx(ctx, "pcheck.check")
 	defer span.End()
@@ -153,6 +202,7 @@ func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *gen
 		Library:    lib,
 		CurveAudit: audit.Hook(),
 		Obs:        sc,
+		Journal:    jr,
 		BDD:        cfg,
 	})
 	if err != nil {

@@ -1,0 +1,200 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powermap/internal/journal"
+)
+
+// journalPair synthesizes one suite circuit under two methods with pmap
+// -journal and returns the two journal paths.
+func journalPair(t *testing.T, circuit, methodA, methodB string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	for _, run := range []struct{ method, path string }{{methodA, a}, {methodB, b}} {
+		var out, errOut bytes.Buffer
+		args := []string{"-circuit", circuit, "-method", run.method, "-journal", run.path}
+		if err := Pmap(args, &out, &errOut); err != nil {
+			t.Fatalf("pmap -method %s: %v\n%s", run.method, err, errOut.String())
+		}
+		if !strings.Contains(out.String(), "decision journal written to") {
+			t.Errorf("pmap -method %s did not announce the journal:\n%s", run.method, out.String())
+		}
+	}
+	return a, b
+}
+
+// TestPexplainDiffAcceptance is the tentpole acceptance check: diffing the
+// conventional (Method I) and minpower (Method II) journals of a suite
+// circuit must report per-gate deltas that sum to the report-level power
+// delta within 1e-9, and each run's attribution must equal its own report
+// total.
+func TestPexplainDiffAcceptance(t *testing.T) {
+	a, b := journalPair(t, "x2", "I", "II")
+
+	for _, path := range []string{a, b} {
+		run, err := journal.ReadRunFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Report == nil {
+			t.Fatalf("%s: no report event", path)
+		}
+		if run.Report.AttributedUW != run.Report.PowerUW {
+			t.Errorf("%s: attributed %.12f != report %.12f", path, run.Report.AttributedUW, run.Report.PowerUW)
+		}
+		if run.Counts[journal.TypeMapSite] == 0 || run.Counts[journal.TypeDecompNode] == 0 {
+			t.Errorf("%s: missing provenance events: %v", path, run.Counts)
+		}
+	}
+
+	var out, errOut bytes.Buffer
+	if err := Pexplain([]string{"diff", "-json", a, b}, &out, &errOut); err != nil {
+		t.Fatalf("pexplain diff: %v\n%s", err, errOut.String())
+	}
+	var d journal.Diff
+	if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+		t.Fatalf("diff JSON: %v\n%s", err, out.String())
+	}
+	if d.PowerA <= 0 || d.PowerB <= 0 {
+		t.Fatalf("diff is missing report totals: %+v", d)
+	}
+	if got := math.Abs(d.PowerDelta - d.GateDeltaSum); got > 1e-9 {
+		t.Errorf("per-gate deltas sum to %.12f but report delta is %.12f (|residue| %.3g > 1e-9)",
+			d.GateDeltaSum, d.PowerDelta, got)
+	}
+	if len(d.Gates) == 0 {
+		t.Error("diff reports no per-gate rows")
+	}
+	if d.A.Method != "I" || d.B.Method != "II" {
+		t.Errorf("diff headers: A method %q, B method %q", d.A.Method, d.B.Method)
+	}
+
+	// The table form renders the same diff with the residue spelled out.
+	out.Reset()
+	if err := Pexplain([]string{"diff", a, b}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"per-gate deltas sum to", "signal", "power_uw"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPexplainTopAndWhy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	var out, errOut bytes.Buffer
+	if err := Pmap([]string{"-circuit", "x2", "-method", "V", "-journal", path, "-run-id", "test-run-7"}, &out, &errOut); err != nil {
+		t.Fatalf("pmap: %v\n%s", err, errOut.String())
+	}
+	run, err := journal.ReadRunFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Header.RunID != "test-run-7" {
+		t.Errorf("journal run_id = %q, want the -run-id value", run.Header.RunID)
+	}
+	if len(run.Sites) == 0 {
+		t.Fatal("run has no map.site events")
+	}
+
+	out.Reset()
+	if err := Pexplain([]string{"top", "-n", "5", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"run test-run-7", "total", "signal", "power_uw"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("top output missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := Pexplain([]string{"top", "-json", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		Gates []journal.GatePower `json:"gates"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &top); err != nil {
+		t.Fatalf("top JSON: %v", err)
+	}
+	if len(top.Gates) == 0 {
+		t.Error("top -json carries no gates")
+	}
+	for i := 1; i < len(top.Gates); i++ {
+		if top.Gates[i].PowerUW > top.Gates[i-1].PowerUW {
+			t.Errorf("top rows not sorted: %f before %f", top.Gates[i-1].PowerUW, top.Gates[i].PowerUW)
+		}
+	}
+
+	// why must chain all three provenance layers for a gate rooted at an
+	// original network node (subject-graph-internal sites lack the
+	// decomposition layer, by design).
+	gate := ""
+	for _, s := range run.Sites {
+		if run.DecompNodeByName(s.Node) != nil {
+			gate = s.Node
+			break
+		}
+	}
+	if gate == "" {
+		t.Fatal("no mapped gate carries decomposition provenance")
+	}
+	out.Reset()
+	if err := Pexplain([]string{"why", "-gate", gate, path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"power:", "mapping:", "selected because", "decomposition:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("why output missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := Pexplain([]string{"why", "-gate", gate, "-json", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var why struct {
+		Gate   *journal.GatePower  `json:"gate"`
+		Site   *journal.MapSite    `json:"site"`
+		Decomp *journal.DecompNode `json:"decomp"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &why); err != nil {
+		t.Fatalf("why JSON: %v", err)
+	}
+	if why.Gate == nil || why.Site == nil || why.Decomp == nil {
+		t.Errorf("why -json misses a layer: gate=%v site=%v decomp=%v", why.Gate != nil, why.Site != nil, why.Decomp != nil)
+	}
+
+	// Unknown gates fail loudly instead of printing an empty report.
+	if err := Pexplain([]string{"why", "-gate", "no-such-signal", path}, &out, &errOut); err == nil {
+		t.Error("why accepted an unknown gate")
+	}
+}
+
+func TestPexplainUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := Pexplain(nil, &out, &errOut); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := Pexplain([]string{"bogus"}, &out, &errOut); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := Pexplain([]string{"diff", "only-one.jsonl"}, &out, &errOut); err == nil {
+		t.Error("diff with one file accepted")
+	}
+	if err := Pexplain([]string{"why", "run.jsonl"}, &out, &errOut); err == nil {
+		t.Error("why without -gate accepted")
+	}
+	out.Reset()
+	if err := Pexplain([]string{"help"}, &out, &errOut); err != nil || !strings.Contains(out.String(), "pexplain top") {
+		t.Errorf("help: err=%v out=%q", err, out.String())
+	}
+}

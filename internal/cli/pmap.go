@@ -17,6 +17,7 @@ import (
 	"powermap/internal/core"
 	"powermap/internal/genlib"
 	"powermap/internal/huffman"
+	"powermap/internal/journal"
 	"powermap/internal/network"
 	"powermap/internal/power"
 	"powermap/internal/sim"
@@ -48,6 +49,7 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		method2  = fs.Bool("method2", false, "use Section 3.1 Method 2 power accounting (ablation)")
 		recovery = fs.Bool("recover", false, "run drive-strength power recovery after mapping")
 		topPower = fs.Int("top", 0, "print the N most power-hungry signals")
+		jpath    = fs.String("journal", "", "write a decision-provenance journal (JSONL) to this file; query it with pexplain")
 		workers  = fs.Int("workers", 0, "worker pool size for parallel phases (0 = all CPUs)")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -94,6 +96,22 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		}
 	}()
 	sc := tel.scope(errOut)
+	var jr *journal.Journal
+	if *jpath != "" {
+		jr, err = journal.Create(*jpath, journal.Header{
+			RunID:     tel.resolveRunID(),
+			Circuit:   src.Name,
+			Method:    m.String(),
+			Strategy:  m.Decomposition().String(),
+			Objective: m.Mapping().String(),
+			Style:     st.String(),
+			Workers:   *workers,
+		})
+		if err != nil {
+			return err
+		}
+		jr.SetObs(sc)
+	}
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
 	res, err := core.SynthesizeContext(ctx, src, core.Options{
@@ -108,8 +126,12 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		Workers:      *workers,
 		Library:      lib,
 		Obs:          sc,
+		Journal:      jr,
 		BDD:          bddf.config(),
 	})
+	if cerr := jr.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("journal: %w", cerr)
+	}
 	if err != nil {
 		return timeoutError(*timeout, err)
 	}
@@ -159,6 +181,9 @@ func Pmap(args []string, out, errOut io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "mapped netlist written to %s\n", *write)
+	}
+	if *jpath != "" {
+		fmt.Fprintf(out, "decision journal written to %s (run %s); query with pexplain\n", *jpath, jr.RunID())
 	}
 	if *topPower > 0 {
 		rows := res.Netlist.PowerBreakdown()

@@ -1,21 +1,40 @@
 package cli
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"sort"
+	"time"
 
 	"powermap/internal/bdd"
 	"powermap/internal/blif"
 	"powermap/internal/huffman"
+	"powermap/internal/journal"
 	"powermap/internal/network"
 	"powermap/internal/obs"
 	"powermap/internal/prob"
 	"powermap/internal/sim"
 )
+
+// randomSeed draws a positive Monte-Carlo seed from the OS entropy source
+// (falling back to the clock), so unseeded estimates explore fresh vectors
+// while remaining reproducible via the echoed value.
+func randomSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return time.Now().UnixNano()
+	}
+	s := int64(binary.LittleEndian.Uint64(b[:]) >> 1) // non-negative
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
 
 // Powerest runs the powerest command: exact zero-delay probability and
 // activity estimation of a BLIF network, with optional Monte-Carlo
@@ -31,6 +50,8 @@ func Powerest(args []string, out, errOut io.Writer) error {
 		top      = fs.Int("top", 10, "print the N most active nodes")
 		mc       = fs.Int("mc", 0, "cross-check against N Monte-Carlo vectors")
 		approx   = fs.Int("approx", 0, "on a BDD node-limit failure, fall back to approximate activities from N Monte-Carlo vectors (0 = fail instead)")
+		seed     = fs.Int64("seed", 0, "Monte-Carlo seed for -mc and the -approx fallback (0 = random; the chosen seed is echoed)")
+		jpath    = fs.String("journal", "", "write a decision-provenance journal (JSONL) to this file; query it with pexplain")
 		workers  = fs.Int("workers", 1, "Monte-Carlo worker pool size; >1 switches to the chunked parallel stream (0 = all CPUs)")
 		timeout  = fs.Duration("timeout", 0, "abort the estimation after this duration (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -71,6 +92,35 @@ func Powerest(args []string, out, errOut io.Writer) error {
 		probs[name] = *piProb
 	}
 	sc := tel.scope(errOut)
+	// The Monte-Carlo seed defaults to a random draw so repeated estimates
+	// explore the vector space; pass -seed to reproduce a run. Either way
+	// it is echoed and journaled, so every output is reproducible.
+	if *seed == 0 {
+		*seed = randomSeed()
+	}
+	var jr *journal.Journal
+	if *jpath != "" {
+		jr, err = journal.Create(*jpath, journal.Header{
+			RunID:   tel.resolveRunID(),
+			Circuit: nw.Name,
+			Style:   st.String(),
+			Stage:   "powerest",
+			Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		jr.SetObs(sc)
+		defer func() {
+			if cerr := jr.Close(); cerr != nil {
+				fmt.Fprintf(errOut, "powerest: journal: %v\n", cerr)
+			}
+		}()
+	}
+	if *mc > 0 || *approx > 0 {
+		fmt.Fprintf(errOut, "powerest: Monte-Carlo seed %d\n", *seed)
+		jr.Event("powerest.seed", map[string]any{"seed": *seed})
+	}
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
 	ctx = obs.WithScope(ctx, sc)
@@ -88,12 +138,13 @@ func Powerest(args []string, out, errOut io.Writer) error {
 		fmt.Fprintf(errOut, "powerest: %v\n", err)
 		fmt.Fprintf(errOut, "powerest: falling back to approximate activities (%d Monte-Carlo vectors)\n", *approx)
 		span := sc.StartCtx(ctx, "powerest.approx-fallback")
-		span.SetAttr("vectors", *approx)
-		est, aerr := sim.Activities(nw, probs, *approx, 1)
+		span.SetAttr("vectors", *approx).SetAttr("seed", *seed)
+		est, aerr := sim.Activities(nw, probs, *approx, *seed)
 		span.End()
 		if aerr != nil {
 			return timeoutError(*timeout, aerr)
 		}
+		jr.Event("powerest.approx-fallback", map[string]any{"vectors": *approx, "seed": *seed})
 		for _, n := range nw.TopoOrder() {
 			e := est[n]
 			n.Prob1 = e.Prob1
@@ -117,6 +168,9 @@ func Powerest(args []string, out, errOut io.Writer) error {
 			total += n.Activity
 		}
 	}
+	jr.Event("powerest.activities", map[string]any{
+		"total_activity": total, "approximate": approximated,
+	})
 	s := nw.Stats()
 	fmt.Fprintf(out, "circuit %s: %d PI, %d PO, %d nodes (%s style)\n", nw.Name, s.PIs, s.POs, s.Nodes, st)
 	if approximated {
@@ -132,12 +186,12 @@ func Powerest(args []string, out, errOut io.Writer) error {
 		// sampler; any other value selects the chunked stream, whose
 		// estimate is identical for every pool size.
 		span := sc.StartCtx(ctx, "powerest.montecarlo")
-		span.SetAttr("vectors", *mc).SetAttr("workers", *workers)
+		span.SetAttr("vectors", *mc).SetAttr("workers", *workers).SetAttr("seed", *seed)
 		var est map[*network.Node]sim.Estimate
 		if *workers == 1 {
-			est, err = sim.Activities(nw, probs, *mc, 1)
+			est, err = sim.Activities(nw, probs, *mc, *seed)
 		} else {
-			est, err = sim.ActivitiesParallel(ctx, nw, probs, *mc, 1, *workers)
+			est, err = sim.ActivitiesParallel(ctx, nw, probs, *mc, *seed, *workers)
 		}
 		span.End()
 		if err != nil {
@@ -152,7 +206,10 @@ func Powerest(args []string, out, errOut io.Writer) error {
 				}
 			}
 		}
-		fmt.Fprintf(out, "Monte-Carlo (%d vectors): total activity %.4f", *mc, mcTotal)
+		jr.Event("powerest.montecarlo", map[string]any{
+			"vectors": *mc, "seed": *seed, "total_activity": mcTotal,
+		})
+		fmt.Fprintf(out, "Monte-Carlo (%d vectors, seed %d): total activity %.4f", *mc, *seed, mcTotal)
 		if st == huffman.Static {
 			fmt.Fprintf(out, ", worst per-node |MC - BDD| = %.4f", worst)
 		}

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"powermap/internal/journal"
 	"powermap/internal/obs"
 )
 
@@ -54,9 +55,9 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 }
 
 // telemetry bundles the observability flags shared by every command
-// (-v, -stats/-stats-out, -trace, -serve, -max-spans) and the scope they
-// configure. Register with addTelemetryFlags, build the scope once with
-// scope(), and call finish() after the run to route the exports.
+// (-v, -stats/-stats-out, -trace, -serve, -max-spans, -run-id) and the
+// scope they configure. Register with addTelemetryFlags, build the scope
+// once with scope(), and call finish() after the run to route the exports.
 type telemetry struct {
 	verbose  *bool
 	stats    *bool
@@ -64,6 +65,7 @@ type telemetry struct {
 	trace    *string
 	serve    *string
 	maxSpans *int
+	runID    *string
 	sc       *obs.Scope
 	built    bool
 }
@@ -77,7 +79,19 @@ func addTelemetryFlags(fs *flag.FlagSet) *telemetry {
 	t.trace = fs.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (open in ui.perfetto.dev)")
 	t.serve = fs.String("serve", "", "after the run, serve /metrics, /snapshot, /trace and /debug/pprof on this address (e.g. :9090) until interrupted")
 	t.maxSpans = fs.Int("max-spans", 0, "completed-span ring buffer size (0 = default 16384, negative = unbounded)")
+	t.runID = fs.String("run-id", "", "run identifier stamped into snapshots, traces and decision journals (default: generated)")
 	return t
+}
+
+// resolveRunID returns the -run-id value, generating (and pinning) a fresh
+// one on first use when the flag was left empty — so the journal headers,
+// the stats snapshot and the trace metadata of one invocation all carry
+// the same ID.
+func (t *telemetry) resolveRunID() string {
+	if *t.runID == "" {
+		*t.runID = journal.NewRunID()
+	}
+	return *t.runID
 }
 
 // scope builds (once) the scope implied by the flags: nil when every
@@ -90,7 +104,7 @@ func (t *telemetry) scope(errOut io.Writer) *obs.Scope {
 	if !*t.verbose && !*t.stats && *t.trace == "" && *t.serve == "" {
 		return nil
 	}
-	cfg := obs.Config{MaxSpans: *t.maxSpans}
+	cfg := obs.Config{MaxSpans: *t.maxSpans, RunID: t.resolveRunID()}
 	if *t.verbose {
 		cfg.Logger = slog.New(slog.NewTextHandler(errOut, nil))
 	}

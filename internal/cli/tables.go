@@ -25,6 +25,7 @@ func Tables(args []string, out, errOut io.Writer) error {
 		subset   = fs.String("circuits", "", "comma-separated benchmark subset for Tables 2/3")
 		relax    = fs.Float64("relax", 0.15, "timing slack fraction of the reference run")
 		exact    = fs.Bool("exact", false, "use BDD-exact decomposition costs")
+		jdir     = fs.String("journal", "", "directory receiving one decision journal per (circuit, method) run; query with pexplain")
 		workers  = fs.Int("workers", 0, "worker pool size for the (circuit, method) runs (0 = all CPUs)")
 		timeout  = fs.Duration("timeout", 0, "abort the suite after this duration (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -84,11 +85,18 @@ func Tables(args []string, out, errOut io.Writer) error {
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
 	base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, Workers: *workers, Obs: sc, BDD: bddf.config()}
-	rows, err := eval.RunSuite(ctx, core.Methods(), base, names)
+	var jc eval.JournalConfig
+	if *jdir != "" {
+		jc = eval.JournalConfig{Dir: *jdir, RunID: tel.resolveRunID()}
+	}
+	rows, err := eval.RunSuiteJournaled(ctx, core.Methods(), base, names, jc)
 	if err != nil {
 		// On expiry eval reports how many of the suite's runs completed
 		// before the deadline; surface that as the whole story.
 		return timeoutError(*timeout, err)
+	}
+	if *jdir != "" {
+		fmt.Fprintf(errOut, "decision journals written to %s (run %s); query with pexplain\n", *jdir, jc.RunID)
 	}
 	eval.SortRowsByTableOrder(rows)
 	if runAll || want == "2" {

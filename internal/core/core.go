@@ -20,6 +20,7 @@ import (
 	"powermap/internal/decomp"
 	"powermap/internal/genlib"
 	"powermap/internal/huffman"
+	"powermap/internal/journal"
 	"powermap/internal/mapper"
 	"powermap/internal/network"
 	"powermap/internal/obs"
@@ -140,6 +141,12 @@ type Options struct {
 	// stage (decomp, mapper, bdd, timing). Nil — the default — disables
 	// all instrumentation at near-zero cost.
 	Obs *obs.Scope
+	// Journal records the run's decision provenance (per-node
+	// decomposition events, per-site mapper decisions, per-gate power
+	// attribution) as JSONL, threaded through decomp and mapper the same
+	// way Obs is. Nil — the default — disables journaling; cmd/pexplain
+	// queries and diffs the resulting files.
+	Journal *journal.Journal
 	// Workers bounds the worker pool used by the parallel pipeline phases
 	// (decomposition planning, mapper curve construction). <= 0 means one
 	// worker per CPU; 1 reproduces the sequential pipeline exactly. Results
@@ -226,6 +233,7 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 		PIProb:   o.PIProb,
 		Strash:   o.Strash,
 		Obs:      sc,
+		Journal:  o.Journal,
 		Workers:  o.Workers,
 		BDD:      o.BDD,
 	})
@@ -251,6 +259,7 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 		PowerMethod2: o.PowerMethod2,
 		CurveAudit:   o.CurveAudit,
 		Obs:          sc,
+		Journal:      o.Journal,
 		Workers:      o.Workers,
 	})
 	if err != nil {

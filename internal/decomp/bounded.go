@@ -77,6 +77,7 @@ func boundedPass(ctx context.Context, cp *network.Network, model *prob.Model, pl
 			continue
 		}
 		redecomps++
+		worst.rebuilt = true
 		rebuilt.Inc()
 	}
 	_ = model

@@ -30,6 +30,7 @@ import (
 	"powermap/internal/bdd"
 	"powermap/internal/exec"
 	"powermap/internal/huffman"
+	"powermap/internal/journal"
 	"powermap/internal/network"
 	"powermap/internal/obs"
 	netopt "powermap/internal/opt"
@@ -94,6 +95,10 @@ type Options struct {
 	// counts, slack-loop iterations, BDD manager statistics). Nil
 	// disables instrumentation.
 	Obs *obs.Scope
+	// Journal receives one decomp.node provenance event per planned node
+	// (construction kind, tree shape, Huffman merge trail with power-cost
+	// inputs) plus a decomp.summary rollup. Nil disables journaling.
+	Journal *journal.Journal
 	// Workers bounds the pool used to plan node trees in parallel. <= 0
 	// means one worker per CPU; 1 plans sequentially. Exact mode always
 	// plans with one worker (the shared BDD manager is not safe for
@@ -191,6 +196,7 @@ type plan struct {
 	orShape   *shape
 	minHeight int  // smallest achievable structure height
 	stuck     bool // bounded re-decomposition cannot tighten further
+	rebuilt   bool // bounded re-decomposition replaced the tree
 	// rebuild re-decomposes the node with structure height ≤ limit,
 	// reporting false when infeasible. Installed by the builder.
 	rebuild func(limit int) (bool, error)
@@ -317,6 +323,10 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 		}
 	}
 
+	// Tree shapes are final here (the bounded pass no longer rewrites
+	// them), so the provenance events record what will be materialized.
+	emitPlans(opt.Journal, plans, opt)
+
 	// Phase 2: materialize the plans as AND2/OR2/INV nodes.
 	span = sc.StartCtx(ctx, "decomp.materialize")
 	inv := newInvCache(cp)
@@ -379,6 +389,13 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 	sc.Gauge("decomp.total_activity").Set(totalActivity)
 	sc.Gauge("decomp.subject_nodes").Set(float64(cp.Stats().Nodes))
 	sc.Gauge("decomp.depth").Set(res.Depth)
+	opt.Journal.DecompSummary(journal.DecompSummary{
+		Nodes:            len(plans),
+		TotalActivity:    totalActivity,
+		SubjectNodes:     cp.Stats().Nodes,
+		Depth:            res.Depth,
+		Redecompositions: redecomps,
+	})
 	flushBDDStats(sc, model.Manager())
 	flushBDDStats(sc, final.Manager())
 	return res, nil

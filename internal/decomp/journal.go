@@ -1,0 +1,125 @@
+package decomp
+
+import (
+	"strconv"
+
+	"powermap/internal/huffman"
+	"powermap/internal/journal"
+)
+
+// emitPlans records one decomp.node provenance event per planned node, in
+// topological order, after all tree shapes are final (i.e. after the
+// bounded re-decomposition pass). The merge trail re-prices each tree with
+// the Section 2.1 independence formulas over the fanins' annotated
+// probabilities — for Exact runs the construction itself was priced with
+// global-BDD activities, so the event carries Exact=true to flag that the
+// recorded costs are the closed-form view of the same shapes.
+func emitPlans(jr *journal.Journal, plans []*plan, opt Options) {
+	if !jr.Enabled() {
+		return
+	}
+	for _, p := range plans {
+		jr.DecompNode(planEvent(p, opt))
+	}
+}
+
+func planEvent(p *plan, opt Options) journal.DecompNode {
+	e := journal.DecompNode{
+		Node:      p.n.Name,
+		Tree:      treeKind(opt),
+		Cubes:     len(p.cubes),
+		Height:    p.structureHeight(),
+		MinHeight: p.minHeight,
+		Rebuilt:   p.rebuilt,
+		Stuck:     p.stuck,
+		Exact:     opt.Exact,
+	}
+	andAlg := huffman.SignalAlgebra{Gate: huffman.GateAnd, Style: opt.Style}
+	orAlg := huffman.SignalAlgebra{Gate: huffman.GateOr, Style: opt.Style}
+
+	// Power-cost inputs: one row per distinct literal, first-seen order.
+	seen := make(map[string]bool)
+	leafState := func(lit literal) huffman.Signal {
+		pr := lit.node.Prob1
+		if lit.neg {
+			pr = 1 - pr
+		}
+		return huffman.SignalFromProb(pr)
+	}
+	for _, cube := range p.cubes {
+		e.Leaves += len(cube)
+		for _, lit := range cube {
+			name := litName(lit)
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			s := leafState(lit)
+			e.Inputs = append(e.Inputs, journal.TreeLeaf{
+				Signal:   name,
+				Prob:     s.Prob1(),
+				Activity: andAlg.Cost(s), // style cost; gate-independent for leaves
+			})
+		}
+	}
+
+	// Merge trail: AND trees bottom-up, then the OR tree over the cube
+	// roots. "#k" names the k-th earlier merge of this event.
+	var walk func(alg huffman.SignalAlgebra, gate string, sh *shape, leaves []huffman.Signal, names []string) (huffman.Signal, string)
+	walk = func(alg huffman.SignalAlgebra, gate string, sh *shape, leaves []huffman.Signal, names []string) (huffman.Signal, string) {
+		if sh.leaf >= 0 {
+			return leaves[sh.leaf], names[sh.leaf]
+		}
+		ls, ln := walk(alg, gate, sh.l, leaves, names)
+		rs, rn := walk(alg, gate, sh.r, leaves, names)
+		s := alg.Merge(ls, rs)
+		e.Merges = append(e.Merges, journal.Merge{
+			Gate: gate,
+			A:    ln,
+			B:    rn,
+			Prob: s.Prob1(),
+			Cost: alg.Cost(s),
+		})
+		return s, "#" + strconv.Itoa(len(e.Merges)-1)
+	}
+	termStates := make([]huffman.Signal, len(p.cubes))
+	termNames := make([]string, len(p.cubes))
+	for i, cube := range p.cubes {
+		states := make([]huffman.Signal, len(cube))
+		names := make([]string, len(cube))
+		for j, lit := range cube {
+			states[j] = leafState(lit)
+			names[j] = litName(lit)
+		}
+		if p.andShapes[i] == nil {
+			termStates[i], termNames[i] = states[0], names[0]
+			continue
+		}
+		termStates[i], termNames[i] = walk(andAlg, "and", p.andShapes[i], states, names)
+	}
+	if p.orShape != nil {
+		walk(orAlg, "or", p.orShape, termStates, termNames)
+	}
+	return e
+}
+
+func litName(lit literal) string {
+	if lit.neg {
+		return "~" + lit.node.Name
+	}
+	return lit.node.Name
+}
+
+// treeKind names the construction family the strategy selected.
+func treeKind(opt Options) string {
+	switch {
+	case opt.Strategy == Conventional:
+		return "balanced"
+	case !opt.Exact && (huffman.SignalAlgebra{Style: opt.Style}).QuasiLinear():
+		// Exact runs always use the Modified Huffman construction (BDD
+		// costs are not quasi-linear), matching builderSet.quasiLinear.
+		return "huffman"
+	default:
+		return "modified-huffman"
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -23,6 +25,7 @@ import (
 	"powermap/internal/core"
 	"powermap/internal/exec"
 	"powermap/internal/huffman"
+	"powermap/internal/journal"
 	"powermap/internal/obs"
 	"powermap/internal/power"
 	"powermap/internal/verify"
@@ -80,6 +83,19 @@ type CircuitRow struct {
 	Results map[core.Method]power.Report
 }
 
+// JournalConfig configures per-run provenance capture for a suite. The
+// zero value disables journaling entirely.
+type JournalConfig struct {
+	// Dir receives one JSONL journal per synthesis run: <circuit>-ref.jsonl
+	// for each Stage-A reference run and <circuit>-<method>.jsonl for each
+	// (circuit, method) run. Empty disables journaling. The directory is
+	// created if missing.
+	Dir string
+	// RunID stamps every journal header, tying the files of one suite
+	// invocation together. Empty generates a fresh ID.
+	RunID string
+}
+
 // RunSuite synthesizes every named benchmark with every method. A nil or
 // empty names slice runs the full 17-circuit suite.
 //
@@ -97,6 +113,14 @@ type CircuitRow struct {
 // run for every worker count. On cancellation the error reports how many
 // runs completed before expiry.
 func RunSuite(ctx context.Context, methods []core.Method, base core.Options, names []string) ([]CircuitRow, error) {
+	return RunSuiteJournaled(ctx, methods, base, names, JournalConfig{})
+}
+
+// RunSuiteJournaled is RunSuite with decision-provenance capture: when
+// jc.Dir is set, every synthesis run (reference and suite) writes its own
+// journal file there, sharing jc.RunID in the headers. cmd/pexplain
+// queries and diffs the resulting files.
+func RunSuiteJournaled(ctx context.Context, methods []core.Method, base core.Options, names []string, jc JournalConfig) ([]CircuitRow, error) {
 	suite := circuits.Suite()
 	if len(names) > 0 {
 		var filtered []circuits.Benchmark
@@ -108,6 +132,44 @@ func RunSuite(ctx context.Context, methods []core.Method, base core.Options, nam
 			filtered = append(filtered, b)
 		}
 		suite = filtered
+	}
+	if jc.Dir != "" {
+		if err := os.MkdirAll(jc.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("eval: journal dir: %w", err)
+		}
+		if jc.RunID == "" {
+			jc.RunID = journal.NewRunID()
+		}
+	}
+	// openJournal creates the per-run journal file and threads it into the
+	// run's options. Runs inside the worker task that owns o, so each file
+	// has exactly one writer. Nil when journaling is off.
+	openJournal := func(o *core.Options, b circuits.Benchmark, stage string) (*journal.Journal, error) {
+		if jc.Dir == "" {
+			return nil, nil
+		}
+		name := b.Name + "-" + o.Method.String() + ".jsonl"
+		if stage == "reference" {
+			// Stage-A runs are Method I too; a distinct suffix keeps them
+			// from clashing with the Stage-B Method-I journal.
+			name = b.Name + "-ref.jsonl"
+		}
+		jr, err := journal.Create(filepath.Join(jc.Dir, name), journal.Header{
+			RunID:     jc.RunID,
+			Circuit:   b.Name,
+			Method:    o.Method.String(),
+			Strategy:  o.Method.Decomposition().String(),
+			Objective: o.Method.Mapping().String(),
+			Style:     base.Style.String(),
+			Stage:     stage,
+			Workers:   o.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s journal: %w", b.Name, err)
+		}
+		jr.SetObs(base.Obs)
+		o.Journal = jr
+		return jr, nil
 	}
 	// The scope rides the context so the worker pool (and any phase that
 	// only sees the context) can instrument the fan-out itself.
@@ -141,7 +203,14 @@ func RunSuite(ctx context.Context, methods []core.Method, base core.Options, nam
 		ctx = obs.WithLabels(ctx, "circuit", b.Name, "method", "I", "stage", "reference")
 		span := base.Obs.StartCtx(ctx, "eval.reference")
 		defer span.End()
+		jr, err := openJournal(&o, b, "reference")
+		if err != nil {
+			return nil, err
+		}
 		ref, err := core.SynthesizeContext(ctx, b.Build(), o)
+		if cerr := jr.Close(); cerr != nil && err == nil {
+			return nil, fmt.Errorf("eval: %s reference journal: %w", b.Name, cerr)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s reference run: %w", b.Name, err)
 		}
@@ -175,8 +244,15 @@ func RunSuite(ctx context.Context, methods []core.Method, base core.Options, nam
 		ctx = obs.WithLabels(ctx, "circuit", b.Name, "method", mname)
 		span := base.Obs.StartCtx(ctx, "eval.run")
 		defer span.End()
+		jr, err := openJournal(&o, b, "suite")
+		if err != nil {
+			return power.Report{}, err
+		}
 		src := b.Build()
 		res, err := core.SynthesizeContext(ctx, src, o)
+		if cerr := jr.Close(); cerr != nil && err == nil {
+			return power.Report{}, fmt.Errorf("eval: %s method %v journal: %w", b.Name, methods[k.mi], cerr)
+		}
 		if err != nil {
 			return power.Report{}, fmt.Errorf("eval: %s method %v: %w", b.Name, methods[k.mi], err)
 		}

@@ -2,11 +2,13 @@ package eval
 
 import (
 	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"powermap/internal/core"
 	"powermap/internal/huffman"
+	"powermap/internal/journal"
 	"powermap/internal/obs"
 	"powermap/internal/power"
 )
@@ -248,5 +250,83 @@ func TestRunSuiteTelemetryLabels(t *testing.T) {
 	}
 	if workerTracks == 0 {
 		t.Errorf("no eval worker tracks allocated: %v", sc.TrackNames())
+	}
+}
+
+func TestRunSuiteJournaled(t *testing.T) {
+	dir := t.TempDir()
+	sc := obs.New(obs.Config{})
+	methods := []core.Method{core.MethodI, core.MethodV}
+	rows, err := RunSuiteJournaled(context.Background(), methods,
+		core.Options{Obs: sc, Workers: 2}, []string{"x2"},
+		JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+
+	// One journal per run: the reference run plus one per method.
+	want := []string{"x2-I.jsonl", "x2-V.jsonl", "x2-ref.jsonl"}
+	runID := ""
+	for _, name := range want {
+		run, err := journal.ReadRunFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h := run.Header
+		if h.Circuit != "x2" {
+			t.Errorf("%s: circuit = %q", name, h.Circuit)
+		}
+		if runID == "" {
+			runID = h.RunID
+		} else if h.RunID != runID {
+			t.Errorf("%s: run_id = %q, want %q (all files share one suite ID)", name, h.RunID, runID)
+		}
+		if run.Counts[journal.TypeDecompNode] == 0 || run.Counts[journal.TypeMapSite] == 0 {
+			t.Errorf("%s: missing provenance events: %v", name, run.Counts)
+		}
+		// Attribution must cover the report total exactly (same walk).
+		if run.Report == nil {
+			t.Fatalf("%s: no report event", name)
+		}
+		if run.Report.AttributedUW != run.Report.PowerUW {
+			t.Errorf("%s: attributed %.9f != report %.9f", name, run.Report.AttributedUW, run.Report.PowerUW)
+		}
+	}
+	ref, _ := journal.ReadRunFile(filepath.Join(dir, "x2-ref.jsonl"))
+	if ref.Header.Stage != "reference" {
+		t.Errorf("reference stage = %q", ref.Header.Stage)
+	}
+	if got := ref.Header.Method; got != "I" {
+		t.Errorf("reference method = %q", got)
+	}
+
+	// The journaled suite must agree with a plain run: journaling is
+	// observation, never perturbation.
+	plain, err := RunSuite(context.Background(), methods, core.Options{Workers: 2}, []string{"x2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range methods {
+		if rows[0].Results[m] != plain[0].Results[m] {
+			t.Errorf("method %v: journaled %+v != plain %+v", m, rows[0].Results[m], plain[0].Results[m])
+		}
+	}
+
+	// Fingerprint counters match the journal event totals.
+	sn := sc.Snapshot()
+	var nodes, sites int
+	for _, name := range want {
+		run, _ := journal.ReadRunFile(filepath.Join(dir, name))
+		nodes += run.Counts[journal.TypeDecompNode]
+		sites += run.Counts[journal.TypeMapSite]
+	}
+	if got := sn.Counters["decomp.nodes_planned"]; got != int64(nodes) {
+		t.Errorf("decomp.nodes_planned = %d, journals hold %d decomp.node events", got, nodes)
+	}
+	if got := sn.Counters["mapper.sites_selected"]; got != int64(sites) {
+		t.Errorf("mapper.sites_selected = %d, journals hold %d map.site events", got, sites)
 	}
 }

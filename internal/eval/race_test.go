@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"powermap/internal/core"
+	"powermap/internal/huffman"
+	"powermap/internal/obs"
+)
+
+// TestHandlerScrapeDuringRunSuite hammers the telemetry endpoints from
+// several goroutines while a parallel suite run mutates the scope, proving
+// (under -race) that live scrapes never tear counters, spans, or snapshots.
+func TestHandlerScrapeDuringRunSuite(t *testing.T) {
+	sc := obs.New(obs.Config{RunID: "race-test"})
+	srv := httptest.NewServer(sc.Handler())
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, endpoint := range []string{"/metrics", "/trace", "/snapshot"} {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("scrape %s: %v", url, err)
+					return
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Errorf("read %s: %v", url, err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("scrape %s: status %d", url, resp.StatusCode)
+					return
+				}
+			}
+		}(srv.URL + endpoint)
+	}
+
+	base := core.Options{Style: huffman.Static, Workers: 2, Obs: sc}
+	rows, err := RunSuite(context.Background(), []core.Method{core.MethodI, core.MethodV}, base, []string{"x2"})
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+
+	// One quiescent scrape after the run: the snapshot must carry the run
+	// id and the counters the run just incremented.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Error("post-run /metrics scrape is empty")
+	}
+	sn := sc.Snapshot()
+	if sn.RunID != "race-test" {
+		t.Errorf("snapshot run_id = %q, want race-test", sn.RunID)
+	}
+	if sn.Counters["decomp.nodes_planned"] == 0 || sn.Counters["mapper.sites_selected"] == 0 {
+		t.Errorf("post-run counters missing: %v", sn.Counters)
+	}
+}

@@ -1,0 +1,180 @@
+package journal
+
+import (
+	"math"
+	"sort"
+	"strconv"
+)
+
+// GateDelta is one signal's power change between two runs. OnlyIn marks
+// signals present in only one run ("a" or "b"); their missing side
+// contributes zero power, so the deltas of all rows still sum to the
+// report-level power delta.
+type GateDelta struct {
+	Signal string  `json:"signal"`
+	CellA  string  `json:"cell_a,omitempty"`
+	CellB  string  `json:"cell_b,omitempty"`
+	PowerA float64 `json:"power_a_uw"`
+	PowerB float64 `json:"power_b_uw"`
+	Delta  float64 `json:"delta_uw"` // PowerB - PowerA
+	OnlyIn string  `json:"only_in,omitempty"`
+}
+
+// DecisionDelta is one algorithmic decision that differs between the runs:
+// a decomposition tree change ("tree": construction kind or height) or a
+// mapper match change ("cell") at a node present in both.
+type DecisionDelta struct {
+	Node string `json:"node"`
+	Kind string `json:"kind"` // "tree" or "cell"
+	A    string `json:"a"`
+	B    string `json:"b"`
+}
+
+// Diff is the comparison of two runs: report-level deltas, the per-gate
+// power attribution deltas (largest magnitude first), and the decision
+// changes that explain them.
+type Diff struct {
+	A Header `json:"a"`
+	B Header `json:"b"`
+
+	GatesA int     `json:"gates_a"`
+	GatesB int     `json:"gates_b"`
+	AreaA  float64 `json:"area_a"`
+	AreaB  float64 `json:"area_b"`
+	DelayA float64 `json:"delay_a_ns"`
+	DelayB float64 `json:"delay_b_ns"`
+	PowerA float64 `json:"power_a_uw"`
+	PowerB float64 `json:"power_b_uw"`
+
+	// PowerDelta is the report-level total power change (B - A).
+	PowerDelta float64 `json:"power_delta_uw"`
+	// GateDeltaSum is the sum of the per-gate deltas; it matches
+	// PowerDelta up to float accumulation order (well within 1e-9).
+	GateDeltaSum float64 `json:"gate_delta_sum_uw"`
+
+	Gates     []GateDelta     `json:"gates"`
+	Decisions []DecisionDelta `json:"decisions,omitempty"`
+}
+
+// DiffRuns compares two journals gate by gate and decision by decision.
+func DiffRuns(a, b *Run) *Diff {
+	d := &Diff{A: a.Header, B: b.Header}
+	if a.Report != nil {
+		d.GatesA, d.AreaA, d.DelayA, d.PowerA = a.Report.Gates, a.Report.Area, a.Report.DelayNs, a.Report.PowerUW
+	}
+	if b.Report != nil {
+		d.GatesB, d.AreaB, d.DelayB, d.PowerB = b.Report.Gates, b.Report.Area, b.Report.DelayNs, b.Report.PowerUW
+	}
+	d.PowerDelta = d.PowerB - d.PowerA
+
+	// Per-gate deltas over the union of attributed signals.
+	cellA := siteCells(a)
+	cellB := siteCells(b)
+	type pair struct{ a, b *GatePower }
+	bySignal := make(map[string]*pair, len(a.Gates)+len(b.Gates))
+	order := make([]string, 0, len(a.Gates)+len(b.Gates))
+	for i := range a.Gates {
+		g := &a.Gates[i]
+		if bySignal[g.Signal] == nil {
+			bySignal[g.Signal] = &pair{}
+			order = append(order, g.Signal)
+		}
+		bySignal[g.Signal].a = g
+	}
+	for i := range b.Gates {
+		g := &b.Gates[i]
+		if bySignal[g.Signal] == nil {
+			bySignal[g.Signal] = &pair{}
+			order = append(order, g.Signal)
+		}
+		bySignal[g.Signal].b = g
+	}
+	for _, sig := range order {
+		p := bySignal[sig]
+		gd := GateDelta{Signal: sig, CellA: cellA[sig], CellB: cellB[sig]}
+		switch {
+		case p.a == nil:
+			gd.OnlyIn = "b"
+			gd.PowerB = p.b.PowerUW
+			if gd.CellB == "" {
+				gd.CellB = p.b.Cell
+			}
+		case p.b == nil:
+			gd.OnlyIn = "a"
+			gd.PowerA = p.a.PowerUW
+			if gd.CellA == "" {
+				gd.CellA = p.a.Cell
+			}
+		default:
+			gd.PowerA, gd.PowerB = p.a.PowerUW, p.b.PowerUW
+			if gd.CellA == "" {
+				gd.CellA = p.a.Cell
+			}
+			if gd.CellB == "" {
+				gd.CellB = p.b.Cell
+			}
+		}
+		gd.Delta = gd.PowerB - gd.PowerA
+		d.GateDeltaSum += gd.Delta
+		d.Gates = append(d.Gates, gd)
+	}
+	sort.SliceStable(d.Gates, func(i, j int) bool {
+		di, dj := math.Abs(d.Gates[i].Delta), math.Abs(d.Gates[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		return d.Gates[i].Signal < d.Gates[j].Signal
+	})
+
+	// Decision deltas: decomposition tree changes and mapper cell changes
+	// at nodes journaled in both runs.
+	decompB := make(map[string]*DecompNode, len(b.Decomp))
+	for i := range b.Decomp {
+		decompB[b.Decomp[i].Node] = &b.Decomp[i]
+	}
+	for i := range a.Decomp {
+		na := &a.Decomp[i]
+		nb := decompB[na.Node]
+		if nb == nil {
+			continue
+		}
+		if na.Tree != nb.Tree || na.Height != nb.Height {
+			d.Decisions = append(d.Decisions, DecisionDelta{
+				Node: na.Node,
+				Kind: "tree",
+				A:    treeDesc(na),
+				B:    treeDesc(nb),
+			})
+		}
+	}
+	for _, sig := range order {
+		ca, okA := cellA[sig]
+		cb, okB := cellB[sig]
+		if okA && okB && ca != cb {
+			d.Decisions = append(d.Decisions, DecisionDelta{Node: sig, Kind: "cell", A: ca, B: cb})
+		}
+	}
+	sort.SliceStable(d.Decisions, func(i, j int) bool {
+		if d.Decisions[i].Kind != d.Decisions[j].Kind {
+			return d.Decisions[i].Kind < d.Decisions[j].Kind
+		}
+		return d.Decisions[i].Node < d.Decisions[j].Node
+	})
+	return d
+}
+
+func siteCells(r *Run) map[string]string {
+	m := make(map[string]string, len(r.Sites))
+	for i := range r.Sites {
+		m[r.Sites[i].Node] = r.Sites[i].Cell
+	}
+	return m
+}
+
+func treeDesc(n *DecompNode) string {
+	desc := n.Tree
+	if n.Rebuilt {
+		desc += " (rebuilt)"
+	}
+	return desc + " h=" + strconv.Itoa(n.Height)
+}

@@ -37,6 +37,10 @@ type Point struct {
 // ordered by arrival (Lemma 3.1).
 type Curve struct {
 	Points []Point
+	// matches counts the library matches enumerated at the node before
+	// pruning. Written once by the task that builds the curve, read at
+	// extract for the map.site journal event.
+	matches int
 }
 
 // prune sorts by (arrival, cost) and removes inferior points: a point is

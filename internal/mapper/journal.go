@@ -1,0 +1,94 @@
+package mapper
+
+import (
+	"powermap/internal/journal"
+	"powermap/internal/network"
+)
+
+// journalNetlist emits the mapper's provenance events for a finished
+// netlist: one map.site event per mapped gate (sorted by root name, like
+// nl.Gates), one power.gate attribution row per switched signal, and the
+// report rollup. Runs on the coordinator after computeReport, so every
+// load and arrival it records is final.
+func (s *state) journalNetlist(nl *Netlist) {
+	jr := s.opt.Journal
+	if !jr.Enabled() {
+		return
+	}
+	for _, g := range nl.Gates {
+		sel := s.chosen[g.Root]
+		c := s.curves[g.Root]
+		ev := journal.MapSite{
+			Node:        g.Root.Name,
+			Cell:        g.Cell.Name,
+			Matches:     c.matches,
+			CurvePoints: len(c.Points),
+			Required:    sel.required,
+			Arrival:     nl.arrival[g.Root],
+			Cost:        sel.point.Cost,
+			Load:        nl.loads[g.Root],
+			Visits:      s.visits[g.Root],
+			Fallback:    sel.fallback,
+			Why:         whySelected(sel),
+		}
+		// Candidate arrivals are curve-domain values (default load); the
+		// event's own Arrival is the final one under the actual load.
+		ev.Candidates = make([]journal.Candidate, len(c.Points))
+		for i, p := range c.Points {
+			ev.Candidates[i] = journal.Candidate{
+				Cell:    p.Cell.Name,
+				Arrival: p.Arrival,
+				Cost:    p.Cost,
+				Chosen:  i == sel.index,
+			}
+		}
+		jr.MapSite(ev)
+	}
+
+	// Attribution rows mirror computeReport's power walk — same signals,
+	// same order, same accumulation — so the attributed sum below equals
+	// Report.PowerUW bit for bit.
+	attributed := 0.0
+	counted := make(map[*network.Node]bool, len(nl.Gates))
+	addRow := func(n *network.Node) {
+		if counted[n] {
+			return
+		}
+		counted[n] = true
+		p := nl.Env.GatePowerUW(nl.loads[n], n.Activity)
+		attributed += p
+		ev := journal.GatePower{
+			Signal:   n.Name,
+			Load:     nl.loads[n],
+			Activity: n.Activity,
+			PowerUW:  p,
+		}
+		if g := nl.gateByRoot[n]; g != nil {
+			ev.Cell = g.Cell.Name
+		}
+		jr.GatePower(ev)
+	}
+	for _, g := range nl.Gates {
+		addRow(g.Root)
+		for _, in := range g.Inputs {
+			addRow(in)
+		}
+	}
+	for _, o := range nl.sub.Outputs {
+		addRow(o.Driver)
+	}
+	jr.Report(journal.Report{
+		Gates:        nl.Report.Gates,
+		Area:         nl.Report.GateArea,
+		DelayNs:      nl.Report.Delay,
+		PowerUW:      nl.Report.PowerUW,
+		AttributedUW: attributed,
+	})
+}
+
+func whySelected(sel *selection) string {
+	if sel.fallback {
+		return "required time infeasible under actual load; fastest point chosen"
+	}
+	return "min-cost curve point meeting required time"
+}

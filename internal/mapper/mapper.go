@@ -8,6 +8,7 @@ import (
 
 	"powermap/internal/exec"
 	"powermap/internal/genlib"
+	"powermap/internal/journal"
 	"powermap/internal/network"
 	"powermap/internal/obs"
 	"powermap/internal/power"
@@ -86,6 +87,11 @@ type Options struct {
 	// generated/pruned, selection passes, node visits). Nil disables
 	// instrumentation.
 	Obs *obs.Scope
+	// Journal receives one map.site provenance event per mapped gate
+	// (matches considered, curve candidates, chosen point and why), the
+	// per-gate power attribution rows, and the report rollup. Nil
+	// disables journaling.
+	Journal *journal.Journal
 	// Workers bounds the pool used by the curve-construction phase. <= 0
 	// means one worker per CPU; 1 covers nodes sequentially. Curves — and
 	// therefore the mapped netlist — are identical for every worker count.
@@ -103,6 +109,8 @@ func Float64(v float64) *float64 { return &v }
 type selection struct {
 	point    Point
 	required float64
+	index    int  // index of point on the node's curve
+	fallback bool // required time infeasible; fastest point taken instead
 }
 
 // stateObs caches the mapper's metric handles so hot loops never touch
@@ -118,6 +126,7 @@ type stateObs struct {
 	selectPasses    *obs.Counter
 	nodeVisits      *obs.Counter
 	loadRecalcs     *obs.Counter
+	sitesSelected   *obs.Counter
 }
 
 func newStateObs(sc *obs.Scope) stateObs {
@@ -131,6 +140,7 @@ func newStateObs(sc *obs.Scope) stateObs {
 		selectPasses:    sc.Counter("mapper.select_passes"),
 		nodeVisits:      sc.Counter("mapper.node_visits"),
 		loadRecalcs:     sc.Counter("mapper.load_recalcs"),
+		sitesSelected:   sc.Counter("mapper.sites_selected"),
 	}
 }
 
@@ -428,6 +438,8 @@ func (s *state) curveAt(ctx context.Context, n *network.Node, budget int, local 
 	if len(curve.Points) == 0 {
 		return nil, fmt.Errorf("mapper: empty curve at node %s", n.Name)
 	}
+	// Stashed task-locally; read at extract for the map.site journal event.
+	curve.matches = len(matches)
 	s.obs.nodesCovered.Inc()
 	s.obs.pointsGenerated.Add(int64(generated))
 	s.obs.pointsKept.Add(int64(len(curve.Points)))
@@ -720,7 +732,8 @@ func (s *state) selectAt(n *network.Node, required float64) error {
 			bestCost, bestIdx = p.Cost, i
 		}
 	}
-	if bestIdx < 0 {
+	fallback := bestIdx < 0
+	if fallback {
 		// Infeasible required time: fall back to the fastest point.
 		bestArr := math.Inf(1)
 		for i, p := range c.Points {
@@ -730,7 +743,7 @@ func (s *state) selectAt(n *network.Node, required float64) error {
 		}
 	}
 	point := c.Points[bestIdx]
-	s.chosen[n] = &selection{point: point, required: required}
+	s.chosen[n] = &selection{point: point, required: required, index: bestIdx, fallback: fallback}
 	// Recurse with per-input required times derived from Equation 14.
 	for _, ic := range point.Inputs {
 		pin := point.Cell.Pins[ic.Pin]

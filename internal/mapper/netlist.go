@@ -91,7 +91,9 @@ func (s *state) extract() (*Netlist, error) {
 	sort.SliceStable(nl.Gates, func(i, j int) bool {
 		return nl.Gates[i].Root.Name < nl.Gates[j].Root.Name
 	})
+	s.obs.sitesSelected.Add(int64(len(nl.Gates)))
 	nl.computeReport()
+	s.journalNetlist(nl)
 	return nl, nil
 }
 

@@ -36,6 +36,11 @@ type Config struct {
 	// growth — only sensible for short one-shot runs). Once the buffer is
 	// full the oldest spans are overwritten and counted in SpansDropped.
 	MaxSpans int
+	// RunID identifies the run this scope instruments. It is stamped into
+	// snapshots and Perfetto trace metadata, and ties telemetry exports to
+	// the decision journals written under the same ID. Empty leaves the
+	// exports unstamped.
+	RunID string
 }
 
 // Scope bundles a tracer and a metrics registry for one flow run. The zero
@@ -43,11 +48,12 @@ type Config struct {
 type Scope struct {
 	tracer  tracer
 	metrics Metrics
+	runID   string
 }
 
 // New returns an enabled Scope.
 func New(cfg Config) *Scope {
-	s := &Scope{}
+	s := &Scope{runID: cfg.RunID}
 	s.tracer.logger = cfg.Logger
 	s.tracer.max = cfg.MaxSpans
 	return s
@@ -55,6 +61,15 @@ func New(cfg Config) *Scope {
 
 // Enabled reports whether instrumentation is live.
 func (s *Scope) Enabled() bool { return s != nil }
+
+// RunID returns the run identifier the scope was configured with, or ""
+// on a nil or unstamped scope.
+func (s *Scope) RunID() string {
+	if s == nil {
+		return ""
+	}
+	return s.runID
+}
 
 // Metrics returns the scope's metrics registry, or nil on a nil scope.
 func (s *Scope) Metrics() *Metrics {

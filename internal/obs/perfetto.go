@@ -47,9 +47,13 @@ func (sn *Snapshot) WriteTraceEvents(w io.Writer) error {
 		}
 	}
 	events := make([]traceEvent, 0, 2+2*len(sn.Spans))
+	procArgs := map[string]any{"name": "powermap"}
+	if sn.RunID != "" {
+		procArgs["run_id"] = sn.RunID
+	}
 	events = append(events, traceEvent{
 		Name: "process_name", Ph: "M", Pid: tracePid, Tid: 0,
-		Args: map[string]any{"name": "powermap"},
+		Args: procArgs,
 	})
 	events = append(events, traceEvent{
 		Name: "thread_name", Ph: "M", Pid: tracePid, Tid: 0,

@@ -15,6 +15,9 @@ import (
 // stable JSON (map keys sort on encoding) and round-trips through
 // ParseSnapshot.
 type Snapshot struct {
+	// RunID is the identifier the scope was configured with (Config.RunID),
+	// tying this snapshot to the journals and traces of the same run.
+	RunID string       `json:"run_id,omitempty"`
 	Spans []SpanRecord `json:"spans,omitempty"`
 	// SpansDropped counts spans lost to the ring buffer before this
 	// snapshot was taken.
@@ -38,6 +41,7 @@ func (s *Scope) Snapshot() *Snapshot {
 	if s == nil {
 		return sn
 	}
+	sn.RunID = s.runID
 	sn.Spans = s.Spans()
 	sn.SpansDropped = s.SpansDropped()
 	sn.Tracks = s.TrackNames()

@@ -33,6 +33,7 @@ import (
 	"powermap/internal/eval"
 	"powermap/internal/genlib"
 	"powermap/internal/huffman"
+	"powermap/internal/journal"
 	"powermap/internal/mapper"
 	"powermap/internal/network"
 	"powermap/internal/obs"
@@ -112,6 +113,33 @@ type (
 
 // NewScope returns an enabled observability scope.
 func NewScope(cfg ObsConfig) *Scope { return obs.New(cfg) }
+
+// Decision-provenance re-exports (see internal/journal and cmd/pexplain):
+// set Options.Journal to a journal created with CreateJournal or NewJournal
+// to record every decomposition, mapping and power-attribution decision of
+// a run as JSONL.
+type (
+	// Journal is a run's decision-provenance writer; nil disables it.
+	Journal = journal.Journal
+	// JournalHeader is the first record of every journal file.
+	JournalHeader = journal.Header
+	// JournalRun is a fully parsed journal file.
+	JournalRun = journal.Run
+)
+
+// NewJournal starts a journal on an arbitrary writer; write errors are
+// deferred to Journal.Err and Journal.Close.
+func NewJournal(w io.Writer, h JournalHeader) *Journal { return journal.New(w, h) }
+
+// CreateJournal starts a journal file at path (created or truncated).
+func CreateJournal(path string, h JournalHeader) (*Journal, error) { return journal.Create(path, h) }
+
+// ReadJournal parses a journal file written by a previous run.
+func ReadJournal(path string) (*JournalRun, error) { return journal.ReadRunFile(path) }
+
+// NewRunID returns a fresh random run identifier for journal headers and
+// stats snapshots.
+func NewRunID() string { return journal.NewRunID() }
 
 // Synthesize runs the full flow — quick-opt, power-efficient technology
 // decomposition, power-efficient technology mapping — on a copy of the
