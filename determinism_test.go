@@ -37,12 +37,22 @@ func synthSignature(t *testing.T, res *Result) string {
 
 // TestSynthesizeDeterministicAcrossWorkers is the concurrency contract of
 // the pipeline: for every worker count the mapped netlist, its gate order,
-// and the priced report are byte-identical to the sequential run — in both
-// DAG and strict-tree mapping modes.
+// and the priced report are byte-identical to the sequential run — in DAG,
+// strict-tree, and cut-backend mapping modes.
 func TestSynthesizeDeterministicAcrossWorkers(t *testing.T) {
+	type mode struct {
+		name    string
+		backend MapperBackend
+		tree    bool
+	}
+	modes := []mode{
+		{"dag", BackendStructural, false},
+		{"tree", BackendStructural, true},
+		{"cuts", BackendCuts, false},
+	}
 	for _, name := range []string{"cm42a", "x2", "s208"} {
-		for _, tree := range []bool{false, true} {
-			t.Run(fmt.Sprintf("%s/tree=%v", name, tree), func(t *testing.T) {
+		for _, md := range modes {
+			t.Run(fmt.Sprintf("%s/%s", name, md.name), func(t *testing.T) {
 				b, err := BenchmarkByName(name)
 				if err != nil {
 					t.Fatal(err)
@@ -52,7 +62,8 @@ func TestSynthesizeDeterministicAcrossWorkers(t *testing.T) {
 					res, err := SynthesizeContext(context.Background(), b.Build(), Options{
 						Method:   MethodVI,
 						Style:    Static,
-						TreeMode: tree,
+						Mapper:   md.backend,
+						TreeMode: md.tree,
 						Workers:  w,
 					})
 					if err != nil {

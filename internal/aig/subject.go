@@ -1,0 +1,67 @@
+package aig
+
+import (
+	"fmt"
+
+	"powermap/internal/decomp"
+	"powermap/internal/network"
+)
+
+// Subject ties a decomposed NAND2/INV network to its structurally hashed
+// AIG. Each network signal maps to one literal; the reverse map records,
+// per literal, the earliest network node (in topological order) computing
+// exactly that function and phase, so a Boolean match can wire any cut
+// leaf phase to a real signal. Inverters and buffers create no AIG nodes —
+// they move the complement bit — which is precisely what lets the cut
+// backend see through chains the structural matcher must pattern-match.
+type Subject struct {
+	G *Graph
+	// Lits maps every network node to the literal computing its signal.
+	Lits map[*network.Node]Lit
+	// Reps maps a literal to the earliest network node whose signal is
+	// exactly that literal (same node, same phase). Not every literal has
+	// a representative: the positive phase of a NAND2's AND node exists in
+	// the network only if some inverter re-inverts it.
+	Reps map[Lit]*network.Node
+	// Topo gives each network node's topological index; matches may only
+	// use leaves with a strictly smaller index than the matched root.
+	Topo map[*network.Node]int
+}
+
+// FromNetwork builds the subject AIG of a decomposed network. Every
+// internal node must be a canonical NAND2, INV, or buffer (the contract
+// decomp.Decompose guarantees); anything else is an error naming the node.
+func FromNetwork(nw *network.Network) (*Subject, error) {
+	s := &Subject{
+		G:    New(),
+		Lits: make(map[*network.Node]Lit),
+		Reps: make(map[Lit]*network.Node),
+		Topo: make(map[*network.Node]int),
+	}
+	for i, n := range nw.TopoOrder() {
+		var l Lit
+		switch {
+		case n.Kind == network.PI:
+			l = s.G.AddPI()
+		case n.Kind == network.Constant:
+			l = ConstFalse
+			if n.Func.IsOne() {
+				l = ConstTrue
+			}
+		case decomp.IsInv(n):
+			l = s.Lits[n.Fanin[0]].Not()
+		case decomp.IsBuffer(n):
+			l = s.Lits[n.Fanin[0]]
+		case decomp.IsNand2(n):
+			l = s.G.And(s.Lits[n.Fanin[0]], s.Lits[n.Fanin[1]]).Not()
+		default:
+			return nil, fmt.Errorf("aig: node %s is not in NAND2/INV subject form", n.Name)
+		}
+		s.Lits[n] = l
+		s.Topo[n] = i
+		if _, ok := s.Reps[l]; !ok {
+			s.Reps[l] = n
+		}
+	}
+	return s, nil
+}

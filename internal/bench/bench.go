@@ -28,6 +28,7 @@ import (
 	"powermap/internal/eval"
 	"powermap/internal/huffman"
 	"powermap/internal/journal"
+	"powermap/internal/mapper"
 	"powermap/internal/obs"
 	"powermap/internal/prob"
 )
@@ -79,6 +80,12 @@ type Options struct {
 	// without sifting) and records its peak-live-node and GC counters as
 	// manifest metrics.
 	Wide bool
+	// Cuts additionally runs the suite once with the cut-based NPN mapper
+	// backend under its own scope, recording its phases as "cuts."-prefixed
+	// entries and its NPN-cache/AIG counters as "cuts."-prefixed metrics.
+	// The manifest's workload identity fields (Circuits, Methods, Workers)
+	// are untouched, so baselines without the cuts leg stay comparable.
+	Cuts bool
 	// JournalDir, when set, captures decision-provenance journals for the
 	// final repetition only (journaling the timed repetitions would perturb
 	// the phases being measured) and cross-checks the fingerprint counters
@@ -279,12 +286,56 @@ func Run(ctx context.Context, opts Options) (*Manifest, error) {
 			m.Metrics[k] = v
 		}
 	}
+	if opts.Cuts {
+		if err := cutsWorkload(ctx, m, methods, circuitNames, opts.Workers); err != nil {
+			return nil, err
+		}
+	}
 	if opts.JournalDir != "" {
 		if err := crossCheckJournals(opts.JournalDir, m.Metrics); err != nil {
 			return nil, err
 		}
 	}
 	return m, nil
+}
+
+// cutsWorkload runs the suite once with the cut-based NPN mapper backend
+// under its own scope and folds "cuts."-prefixed phases and metrics into
+// the manifest. Prefixing keeps the cuts leg out of the structural phases'
+// baselines: old manifests simply list the new entries as missing, which
+// Compare reports as informational, never as a regression.
+func cutsWorkload(ctx context.Context, m *Manifest, methods []core.Method, circuitNames []string, workers int) error {
+	sc := obs.New(obs.Config{})
+	base := core.Options{Obs: sc, Workers: workers, Mapper: mapper.BackendCuts}
+	start := time.Now()
+	if _, err := eval.RunSuite(ctx, methods, base, circuitNames); err != nil {
+		return fmt.Errorf("bench: cuts workload: %w", err)
+	}
+	m.Phases["bench.cuts-suite"] = PhaseStat{Spans: 1, WallNs: time.Since(start).Nanoseconds()}
+	sn := sc.Snapshot()
+	phaseWall := map[string]int64{}
+	phaseSpans := map[string]int{}
+	for _, sp := range sn.Spans {
+		phaseWall[sp.Name] += sp.DurationNs
+		phaseSpans[sp.Name]++
+	}
+	for name, wall := range phaseWall {
+		m.Phases["cuts."+name] = PhaseStat{Spans: phaseSpans[name], WallNs: wall}
+	}
+	if m.Metrics == nil {
+		m.Metrics = map[string]float64{}
+	}
+	for _, key := range []string{"mapper.npn_cache_hits", "mapper.npn_cache_misses", "mapper.cuts_enumerated"} {
+		if v, ok := sn.Counters[key]; ok {
+			m.Metrics["cuts."+key] = float64(v)
+		}
+	}
+	for _, key := range []string{"mapper.npn_classes", "aig.nodes", "aig.strash_dedup"} {
+		if v, ok := sn.Gauges[key]; ok {
+			m.Metrics["cuts."+key] = v
+		}
+	}
+	return nil
 }
 
 // crossCheckJournals verifies the journaled final repetition against the

@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"powermap/internal/mapper"
+)
+
+// mapFlags holds the uniform mapper-backend flags (-mapper, -lut) shared
+// by pmap, pcheck and tables.
+type mapFlags struct {
+	backend *string
+	lut     *int
+}
+
+// addMapFlags registers the mapper backend selection flags on fs.
+func addMapFlags(fs *flag.FlagSet) *mapFlags {
+	return &mapFlags{
+		backend: fs.String("mapper", "",
+			"match enumerator: tree (structural, DAGON partition), dag (structural, fanout division), cuts (NPN Boolean matching on a hashed AIG); default dag, or cuts when -lut is set"),
+		lut: fs.Int("lut", 0,
+			"map every k-feasible cut to a generic k-input LUT (2..6, implies -mapper cuts; 0 = library matching)"),
+	}
+}
+
+// resolve materializes the flags as (backend, treeMode, lut). The treeDefault
+// carries a tool's own -tree flag so `-tree` keeps working without -mapper.
+func (m *mapFlags) resolve(treeDefault bool) (mapper.Backend, bool, int, error) {
+	lut := *m.lut
+	switch *m.backend {
+	case "":
+		if lut > 0 {
+			return mapper.BackendCuts, false, lut, nil
+		}
+		return mapper.BackendStructural, treeDefault, 0, nil
+	case "tree":
+		if lut > 0 {
+			return 0, false, 0, fmt.Errorf("-lut requires -mapper cuts")
+		}
+		return mapper.BackendStructural, true, 0, nil
+	case "dag":
+		if lut > 0 {
+			return 0, false, 0, fmt.Errorf("-lut requires -mapper cuts")
+		}
+		return mapper.BackendStructural, false, 0, nil
+	case "cuts":
+		return mapper.BackendCuts, false, lut, nil
+	}
+	return 0, false, 0, fmt.Errorf("unknown -mapper %q (want tree, dag or cuts)", *m.backend)
+}

@@ -34,6 +34,7 @@ func Pbench(args []string, out, errOut io.Writer) error {
 		gitRev    = fs.String("rev", "", "git revision to record in the manifest")
 		note      = fs.String("note", "", "free-form note to record in the manifest")
 		wide      = fs.Bool("wide", true, "also run the wide-BDD workload and record peak-node/GC/reorder metrics")
+		cuts      = fs.Bool("cuts", false, "also run the suite once with the cut-based NPN mapper backend, recording cuts.-prefixed phases and metrics")
 		jdir      = fs.String("journal-dir", "", "directory receiving the final run's decision journals, cross-checked against the fingerprint counters")
 		runID     = fs.String("run-id", "", "run identifier stamped into the manifest and journal headers (default: generated when -journal-dir is set)")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
@@ -47,6 +48,7 @@ func Pbench(args []string, out, errOut io.Writer) error {
 		GitRev:     *gitRev,
 		Note:       *note,
 		Wide:       *wide,
+		Cuts:       *cuts,
 		JournalDir: *jdir,
 		RunID:      *runID,
 		Command:    "pbench " + strings.Join(args, " "),

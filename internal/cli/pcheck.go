@@ -15,6 +15,7 @@ import (
 	"powermap/internal/genlib"
 	"powermap/internal/huffman"
 	"powermap/internal/journal"
+	"powermap/internal/mapper"
 	"powermap/internal/network"
 	"powermap/internal/obs"
 	"powermap/internal/verify"
@@ -49,8 +50,13 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
 	bddf := addBDDFlags(fs)
+	mapf := addMapFlags(fs)
 	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, treeMode, lut, err := mapf.resolve(*tree)
+	if err != nil {
 		return err
 	}
 	if *list {
@@ -118,7 +124,7 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 			if err != nil {
 				return err
 			}
-			err = checkOne(ctx, out, src, lib, m, st, *tree, relax, *workers, *inject, sc, jr, bddf.config())
+			err = checkOne(ctx, out, src, lib, m, st, backend, lut, treeMode, relax, *workers, *inject, sc, jr, bddf.config())
 			if cerr := jr.Close(); cerr != nil && err == nil {
 				err = fmt.Errorf("journal: %w", cerr)
 			}
@@ -138,7 +144,7 @@ func Pcheck(args []string, out, errOut io.Writer) error {
 		if err != nil {
 			return err
 		}
-		err = checkOne(ctx, out, src, lib, m, st, i%2 == 1, relax, *workers, false, sc, jr, bddf.config())
+		err = checkOne(ctx, out, src, lib, m, st, backend, lut, treeMode || i%2 == 1, relax, *workers, false, sc, jr, bddf.config())
 		if cerr := jr.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("journal: %w", cerr)
 		}
@@ -188,7 +194,7 @@ func parseMethods(s string) ([]core.Method, error) {
 // consistency. With inject it corrupts the mapped netlist first and demands
 // the checker reject it.
 func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *genlib.Library,
-	m core.Method, st huffman.Style, tree bool, relax *float64, workers int, inject bool, sc *obs.Scope, jr *journal.Journal, cfg bdd.Config) error {
+	m core.Method, st huffman.Style, backend mapper.Backend, lut int, tree bool, relax *float64, workers int, inject bool, sc *obs.Scope, jr *journal.Journal, cfg bdd.Config) error {
 	ctx = obs.WithLabels(ctx, "circuit", src.Name, "method", m.String())
 	span := sc.StartCtx(ctx, "pcheck.check")
 	defer span.End()
@@ -197,6 +203,8 @@ func checkOne(ctx context.Context, out io.Writer, src *network.Network, lib *gen
 		Method:     m,
 		Style:      st,
 		Relax:      relax,
+		Mapper:     backend,
+		LUT:        lut,
 		TreeMode:   tree,
 		Workers:    workers,
 		Library:    lib,

@@ -181,6 +181,10 @@ func pexplainWhy(args []string, out, errOut io.Writer) error {
 			s.Cell, s.Matches, s.CurvePoints)
 		fmt.Fprintf(out, "  required %.3f ns, arrival %.3f ns under final load %.2f; cone cost %.3f\n",
 			s.Required, s.Arrival, s.Load, s.Cost)
+		if s.NPNClass != "" {
+			fmt.Fprintf(out, "  cut backend: NPN class %s over cut leaves (%s)\n",
+				s.NPNClass, strings.Join(s.CutLeaves, ", "))
+		}
 		fmt.Fprintf(out, "  selected because: %s\n", s.Why)
 		if len(s.Candidates) > 0 {
 			fmt.Fprintf(out, "  curve (arrivals at default load):\n")

@@ -56,8 +56,13 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	bddf := addBDDFlags(fs)
+	mapf := addMapFlags(fs)
 	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, treeMode, lut, err := mapf.resolve(*tree)
+	if err != nil {
 		return err
 	}
 	if *list {
@@ -121,7 +126,9 @@ func Pmap(args []string, out, errOut io.Writer) error {
 		PIProb:       probs,
 		Relax:        relax,
 		Epsilon:      *epsilon,
-		TreeMode:     *tree,
+		Mapper:       backend,
+		LUT:          lut,
+		TreeMode:     treeMode,
 		PowerMethod2: *method2,
 		Workers:      *workers,
 		Library:      lib,

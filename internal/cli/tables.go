@@ -19,7 +19,7 @@ func Tables(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		table    = fs.String("table", "all", "1, 2, 3, summary, figure1, correlated, or all")
+		table    = fs.String("table", "all", "1, 2, 3, summary, figure1, correlated, backends, or all")
 		patterns = fs.Int("patterns", 500, "random patterns per input count for Table 1")
 		seed     = fs.Int64("seed", 1993, "random seed")
 		subset   = fs.String("circuits", "", "comma-separated benchmark subset for Tables 2/3")
@@ -32,8 +32,13 @@ func Tables(args []string, out, errOut io.Writer) error {
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	bddf := addBDDFlags(fs)
+	mapf := addMapFlags(fs)
 	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, treeMode, lut, err := mapf.resolve(false)
+	if err != nil {
 		return err
 	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
@@ -78,13 +83,26 @@ func Tables(args []string, out, errOut io.Writer) error {
 		fmt.Fprintln(out, eval.FormatCorrelated(rows))
 	}
 
+	if want == "backends" {
+		ctx, cancel := timeoutContext(*timeout)
+		defer cancel()
+		base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, LUT: lut, Workers: *workers, Obs: sc, BDD: bddf.config()}
+		fmt.Fprintln(out, "=== Mapper backends: structural vs cuts (Method VI, common constraints) ===")
+		rows, err := eval.CompareBackends(ctx, base, core.MethodVI, names)
+		if err != nil {
+			return timeoutError(*timeout, err)
+		}
+		fmt.Fprintln(out, eval.FormatBackendTable(rows))
+		return tel.finish(out, errOut)
+	}
+
 	needSuite := runAll || want == "2" || want == "3" || want == "summary"
 	if !needSuite {
 		return tel.finish(out, errOut)
 	}
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
-	base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, Workers: *workers, Obs: sc, BDD: bddf.config()}
+	base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, Mapper: backend, LUT: lut, TreeMode: treeMode, Workers: *workers, Obs: sc, BDD: bddf.config()}
 	var jc eval.JournalConfig
 	if *jdir != "" {
 		jc = eval.JournalConfig{Dir: *jdir, RunID: tel.resolveRunID()}

@@ -114,6 +114,14 @@ type Options struct {
 	// giving both ad-map and pd-map the same modest timing slack to spend;
 	// Float64(0) demands the fastest mapping.
 	Relax *float64
+	// Mapper selects the mapper's match enumerator: the structural pattern
+	// matcher (default) or the cut-based NPN Boolean matcher over a
+	// structurally hashed AIG.
+	Mapper mapper.Backend
+	// LUT, with the cuts backend, maps every k-feasible cut to a generic
+	// k-input LUT cell instead of matching the library (2 <= k <= 6). Zero
+	// disables LUT mode.
+	LUT int
 	// Epsilon is the mapper's curve-pruning width.
 	Epsilon float64
 	// TreeMode uses strict tree partitioning in the mapper.
@@ -246,10 +254,12 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 	res.Decomp = d
 
 	span = sc.StartCtx(ctx, "map")
-	span.SetAttr("objective", o.Mapping.String())
+	span.SetAttr("objective", o.Mapping.String()).SetAttr("backend", o.Mapper.String())
 	nl, err := mapper.Map(ctx, d.Network, d.Model, mapper.Options{
 		Objective:    o.Mapping,
 		Library:      o.Library,
+		Backend:      o.Mapper,
+		LUT:          o.LUT,
 		TreeMode:     o.TreeMode,
 		Epsilon:      o.Epsilon,
 		Env:          o.Env,

@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"powermap/internal/core"
+)
+
+// TestCompareBackendsSmall runs the structural-vs-cuts comparison on two
+// small benchmarks and checks the protocol outcome: both legs verified,
+// both reports populated, and the cuts leg meeting the same required
+// times (delay within the shared 0.1% slack of the structural leg's).
+func TestCompareBackendsSmall(t *testing.T) {
+	rows, err := CompareBackends(context.Background(), core.Options{}, core.MethodVI, []string{"cm42a", "x2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Structural.Gates == 0 || r.Cuts.Gates == 0 {
+			t.Errorf("%s: empty report (structural %d gates, cuts %d)", r.Circuit, r.Structural.Gates, r.Cuts.Gates)
+		}
+		if r.Cuts.Delay > r.Structural.Delay*1.001+1e-9 {
+			t.Errorf("%s: cuts delay %.3f exceeds the common required time %.3f",
+				r.Circuit, r.Cuts.Delay, r.Structural.Delay*1.001)
+		}
+	}
+	table := FormatBackendTable(rows)
+	for _, want := range []string{"cm42a", "x2", "mean", "area%"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestCompareBackendsUnknownCircuit mirrors the suite harness contract:
+// an unknown name is an error, not a silent skip.
+func TestCompareBackendsUnknownCircuit(t *testing.T) {
+	if _, err := CompareBackends(context.Background(), core.Options{}, core.MethodVI, []string{"nope"}); err == nil {
+		t.Fatal("want error for unknown circuit")
+	}
+}

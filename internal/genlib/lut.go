@@ -1,0 +1,89 @@
+package genlib
+
+import "fmt"
+
+// maxTruthTableInputs bounds single-word truth tables (2^6 = 64 rows).
+const maxTruthTableInputs = 6
+
+// TruthTable returns the cell's function as a truth table over its pin
+// order: bit x holds f(assignment x), where pin i contributes bit i of x.
+// The second result is false for cells with more than 6 pins, which do not
+// fit a single word and are skipped by the NPN matcher.
+func (c *Cell) TruthTable() (uint64, bool) {
+	n := len(c.Pins)
+	if n > maxTruthTableInputs {
+		return 0, false
+	}
+	assign := make(map[string]bool, n)
+	var tt uint64
+	for x := 0; x < 1<<uint(n); x++ {
+		for i := range c.Pins {
+			assign[c.Pins[i].Name] = x>>uint(i)&1 == 1
+		}
+		if c.Expr.Eval(assign) {
+			tt |= 1 << uint(x)
+		}
+	}
+	return tt, true
+}
+
+// NewLUTCell builds a synthetic n-input lookup-table cell computing the
+// given truth table over pins v0..v{n-1}, for the mapper's -lut mode. The
+// expression is the canonical minterm expansion (Cover() minimizes it when
+// needed), and every pin copies its electrical parameters from proto so
+// timing and power remain comparable with real library cells. Area grows
+// as 2^(n-1), one unit per two LUT rows. Constant functions are rejected:
+// a cut whose function is constant never needs a gate.
+func NewLUTCell(name string, n int, tt uint64, area float64, proto Pin) (*Cell, error) {
+	if n < 1 || n > maxTruthTableInputs {
+		return nil, fmt.Errorf("genlib: LUT arity %d out of range 1..%d", n, maxTruthTableInputs)
+	}
+	size := uint(1) << uint(n)
+	mask := uint64(1)<<size - 1
+	tt &= mask
+	if tt == 0 || tt == mask {
+		return nil, fmt.Errorf("genlib: LUT cell %s would compute a constant", name)
+	}
+	pins := make([]Pin, n)
+	for i := range pins {
+		pins[i] = Pin{
+			Name:    fmt.Sprintf("v%d", i),
+			Phase:   PhaseUnknown,
+			Load:    proto.Load,
+			MaxLoad: proto.MaxLoad,
+			Block:   proto.Block,
+			Drive:   proto.Drive,
+		}
+	}
+	var minterms []*Expr
+	for x := uint(0); x < size; x++ {
+		if tt>>x&1 == 0 {
+			continue
+		}
+		lits := make([]*Expr, n)
+		for i := 0; i < n; i++ {
+			v := &Expr{Op: OpVar, Var: pins[i].Name}
+			if x>>uint(i)&1 == 1 {
+				lits[i] = v
+			} else {
+				lits[i] = &Expr{Op: OpNot, Kids: []*Expr{v}}
+			}
+		}
+		if n == 1 {
+			minterms = append(minterms, lits[0])
+		} else {
+			minterms = append(minterms, &Expr{Op: OpAnd, Kids: lits})
+		}
+	}
+	expr := minterms[0]
+	if len(minterms) > 1 {
+		expr = &Expr{Op: OpOr, Kids: minterms}
+	}
+	return &Cell{
+		Name:   name,
+		Area:   area,
+		Output: "o",
+		Expr:   expr,
+		Pins:   pins,
+	}, nil
+}

@@ -1,0 +1,74 @@
+package genlib
+
+import "testing"
+
+func TestCellTruthTable(t *testing.T) {
+	lib := Lib2()
+	inv, ok := lib.Inverter().TruthTable()
+	if !ok || inv != 0b01 {
+		t.Fatalf("INV truth table = %#b (ok=%v), want 0b01", inv, ok)
+	}
+	nand, ok := lib.Nand2().TruthTable()
+	if !ok || nand != 0b0111 {
+		t.Fatalf("NAND2 truth table = %#b (ok=%v), want 0b0111", nand, ok)
+	}
+	// Every library cell's truth table must agree with its SOP cover.
+	for _, c := range lib.Cells {
+		tt, ok := c.TruthTable()
+		if !ok {
+			t.Fatalf("cell %s: no truth table", c.Name)
+		}
+		cover := c.Cover()
+		n := len(c.Pins)
+		assign := make([]bool, n)
+		for x := 0; x < 1<<uint(n); x++ {
+			for i := range assign {
+				assign[i] = x>>uint(i)&1 == 1
+			}
+			if got, want := tt>>uint(x)&1 == 1, cover.Eval(assign); got != want {
+				t.Fatalf("cell %s: truth table row %d = %v, cover says %v", c.Name, x, got, want)
+			}
+		}
+	}
+}
+
+func TestNewLUTCell(t *testing.T) {
+	lib := Lib2()
+	proto := lib.Nand2().Pins[0]
+	// 3-input majority.
+	maj := uint64(0b1110_1000)
+	c, err := NewLUTCell("lut3_e8", 3, maj, 4, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.TruthTable(); !ok || got != maj {
+		t.Fatalf("LUT truth table round-trip = %#x, want %#x", got, maj)
+	}
+	if c.NumInputs() != 3 || c.Area != 4 {
+		t.Fatalf("unexpected cell shape: %d pins, area %v", c.NumInputs(), c.Area)
+	}
+	if c.Cover() == nil || len(c.Cover().Cubes) == 0 {
+		t.Fatal("LUT cell has no cover")
+	}
+	if c.Pins[0].Load != proto.Load || c.Pins[2].Drive != proto.Drive {
+		t.Fatal("pin electrical parameters not copied from proto")
+	}
+	// Identity 1-input LUT (a buffer-shaped cell).
+	b, err := NewLUTCell("lut1_2", 1, 0b10, 1, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.TruthTable(); got != 0b10 {
+		t.Fatalf("1-input LUT = %#b", got)
+	}
+	// Constants are rejected.
+	if _, err := NewLUTCell("bad", 2, 0, 1, proto); err == nil {
+		t.Fatal("constant-0 LUT accepted")
+	}
+	if _, err := NewLUTCell("bad", 2, 0b1111, 1, proto); err == nil {
+		t.Fatal("constant-1 LUT accepted")
+	}
+	if _, err := NewLUTCell("bad", 7, 1, 1, proto); err == nil {
+		t.Fatal("7-input LUT accepted")
+	}
+}

@@ -144,18 +144,24 @@ type Candidate struct {
 // library matches were enumerated, the surviving curve, and which point
 // was selected and why.
 type MapSite struct {
-	Node        string      `json:"node"`
-	Cell        string      `json:"cell"`
-	Matches     int         `json:"matches"`
-	CurvePoints int         `json:"curve_points"`
-	Required    float64     `json:"required_ns"`
-	Arrival     float64     `json:"arrival_ns"`
-	Cost        float64     `json:"cost"`
-	Load        float64     `json:"load"`
-	Visits      int         `json:"visits,omitempty"`
-	Fallback    bool        `json:"fallback,omitempty"`
-	Why         string      `json:"why"`
-	Candidates  []Candidate `json:"candidates,omitempty"`
+	Node        string  `json:"node"`
+	Cell        string  `json:"cell"`
+	Matches     int     `json:"matches"`
+	CurvePoints int     `json:"curve_points"`
+	Required    float64 `json:"required_ns"`
+	Arrival     float64 `json:"arrival_ns"`
+	Cost        float64 `json:"cost"`
+	Load        float64 `json:"load"`
+	Visits      int     `json:"visits,omitempty"`
+	Fallback    bool    `json:"fallback,omitempty"`
+	Why         string  `json:"why"`
+	// Cut-backend provenance: the subject signals the matched cut's cell
+	// pins bind (in pin order) and the NPN class key of the cut function,
+	// standing in for the structural backend's pattern trail. Absent on
+	// structural-backend events — added fields keep the schema version.
+	CutLeaves  []string    `json:"cut_leaves,omitempty"`
+	NPNClass   string      `json:"npn_class,omitempty"`
+	Candidates []Candidate `json:"candidates,omitempty"`
 }
 
 // GatePower is one row of the per-gate power attribution: a switched

@@ -31,6 +31,9 @@ type Point struct {
 	Drive float64
 	// Inputs identifies the curve points chosen at inputs(n,g).
 	Inputs []InputChoice
+	// class is the NPN class key of the matched function for cut-backend
+	// points ("" otherwise); it surfaces in the map.site journal event.
+	class string
 }
 
 // Curve is a monotone non-increasing sequence of non-inferior points

@@ -1,0 +1,174 @@
+package mapper
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"powermap/internal/genlib"
+	"powermap/internal/journal"
+	"powermap/internal/network"
+	"powermap/internal/obs"
+)
+
+func mapSmallCuts(t *testing.T, opt Options) *Netlist {
+	t.Helper()
+	opt.Backend = BackendCuts
+	return mapSmall(t, opt)
+}
+
+func TestCutBackendMapsAndVerifies(t *testing.T) {
+	for _, obj := range []Objective{AreaDelay, PowerDelay} {
+		nl := mapSmallCuts(t, Options{Objective: obj})
+		if len(nl.Gates) == 0 {
+			t.Fatalf("%v: no gates mapped", obj)
+		}
+		if nl.Report.GateArea <= 0 || nl.Report.Delay <= 0 || nl.Report.PowerUW <= 0 {
+			t.Errorf("%v: degenerate report: %+v", obj, nl.Report)
+		}
+	}
+}
+
+func TestCutBackendLUTMode(t *testing.T) {
+	for _, k := range []int{2, 4, 6} {
+		nl := mapSmallCuts(t, Options{Objective: PowerDelay, LUT: k})
+		if len(nl.Gates) == 0 {
+			t.Fatalf("lut=%d: no gates mapped", k)
+		}
+		for _, g := range nl.Gates {
+			if !strings.HasPrefix(g.Cell.Name, "lut") {
+				t.Fatalf("lut=%d: gate %s mapped to non-LUT cell %s", k, g.Root.Name, g.Cell.Name)
+			}
+			if g.Cell.NumInputs() > k {
+				t.Fatalf("lut=%d: cell %s exceeds arity", k, g.Cell.Name)
+			}
+		}
+	}
+}
+
+func TestLUTModeValidation(t *testing.T) {
+	sub, model := subject(t, smallBlif)
+	if _, err := Map(context.Background(), sub, model, Options{Library: genlib.Lib2(), LUT: 4}); err == nil {
+		t.Fatal("LUT mode without the cuts backend accepted")
+	}
+	if _, err := Map(context.Background(), sub, model, Options{Library: genlib.Lib2(), Backend: BackendCuts, LUT: 7}); err == nil {
+		t.Fatal("LUT arity 7 accepted")
+	}
+	if _, err := Map(context.Background(), sub, model, Options{Library: genlib.Lib2(), Backend: BackendCuts, LUT: 1}); err == nil {
+		t.Fatal("LUT arity 1 accepted")
+	}
+}
+
+// TestCutBackendDeterministicAcrossWorkers demands bit-identical netlists
+// for every worker count, like the structural backend.
+func TestCutBackendDeterministicAcrossWorkers(t *testing.T) {
+	signature := func(nl *Netlist) string {
+		var b strings.Builder
+		for _, g := range nl.Gates {
+			b.WriteString(g.Root.Name)
+			b.WriteByte('=')
+			b.WriteString(g.Cell.Name)
+			for _, in := range g.Inputs {
+				b.WriteByte(',')
+				b.WriteString(in.Name)
+			}
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	var want string
+	for i, w := range []int{1, 2, 8} {
+		nl := mapSmallCuts(t, Options{Objective: PowerDelay, Workers: w})
+		if sig := signature(nl); i == 0 {
+			want = sig
+		} else if sig != want {
+			t.Fatalf("workers=%d netlist differs:\n%s\nvs\n%s", w, sig, want)
+		}
+	}
+}
+
+// TestCutBackendAuditsCurves proves the non-inferiority invariant holds
+// for cut-generated curves too (Lemma 3.1 is backend-independent).
+func TestCutBackendAuditsCurves(t *testing.T) {
+	audited := 0
+	mapSmallCuts(t, Options{
+		Objective: PowerDelay,
+		CurveAudit: func(n *network.Node, c *Curve) {
+			audited++
+			for i := 1; i < len(c.Points); i++ {
+				if c.Points[i].Arrival <= c.Points[i-1].Arrival {
+					t.Errorf("%s: arrivals not strictly increasing at %d", n.Name, i)
+				}
+				if c.Points[i].Cost >= c.Points[i-1].Cost {
+					t.Errorf("%s: costs not strictly decreasing at %d", n.Name, i)
+				}
+			}
+		},
+	})
+	if audited == 0 {
+		t.Fatal("no curves audited")
+	}
+}
+
+// TestCutBackendObsCounters checks the NPN cache and AIG counters surface
+// through obs.
+func TestCutBackendObsCounters(t *testing.T) {
+	sc := obs.New(obs.Config{})
+	mapSmallCuts(t, Options{Objective: PowerDelay, Obs: sc})
+	snap := sc.Snapshot()
+	want := []string{
+		"mapper.npn_cache_hits", "mapper.npn_cache_misses",
+		"mapper.npn_classes", "mapper.cuts_enumerated",
+		"aig.nodes", "aig.strash_dedup",
+	}
+	for _, name := range want {
+		_, inCounters := snap.Counters[name]
+		_, inGauges := snap.Gauges[name]
+		if !inCounters && !inGauges {
+			t.Errorf("metric %s missing from obs snapshot", name)
+		}
+	}
+	if snap.Counters["mapper.npn_cache_misses"] <= 0 {
+		t.Error("npn cache miss counter never incremented")
+	}
+}
+
+// TestCutBackendJournalsClass checks map.site events from the cut backend
+// carry the NPN class and cut leaves.
+func TestCutBackendJournalsClass(t *testing.T) {
+	var buf bytes.Buffer
+	jr := journal.New(&buf, journal.Header{RunID: "test"})
+	mapSmallCuts(t, Options{Objective: PowerDelay, Journal: jr})
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sites := 0
+	withClass := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.Contains(line, `"type":"map.site"`) {
+			continue
+		}
+		var ev struct {
+			NPNClass  string   `json:"npn_class"`
+			CutLeaves []string `json:"cut_leaves"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad map.site line: %v", err)
+		}
+		sites++
+		if ev.NPNClass != "" {
+			withClass++
+			if len(ev.CutLeaves) == 0 {
+				t.Errorf("map.site with class %s has no cut leaves", ev.NPNClass)
+			}
+		}
+	}
+	if sites == 0 {
+		t.Fatal("no map.site events journaled")
+	}
+	if withClass == 0 {
+		t.Fatal("no map.site event carries an NPN class")
+	}
+}

@@ -31,6 +31,13 @@ func (s *state) journalNetlist(nl *Netlist) {
 			Fallback:    sel.fallback,
 			Why:         whySelected(sel),
 		}
+		if sel.point.class != "" {
+			ev.NPNClass = sel.point.class
+			ev.CutLeaves = make([]string, len(g.Inputs))
+			for i, in := range g.Inputs {
+				ev.CutLeaves[i] = in.Name
+			}
+		}
 		// Candidate arrivals are curve-domain values (default load); the
 		// event's own Arrival is the final one under the actual load.
 		ev.Candidates = make([]journal.Candidate, len(c.Points))

@@ -35,13 +35,46 @@ func (o Objective) String() string {
 	return "pd-map"
 }
 
+// Backend selects how candidate matches are enumerated. Both backends feed
+// the same power-delay curve machinery, so Lemma 3.1 invariants, CurveAudit
+// and the selection passes are backend-independent.
+type Backend int
+
+const (
+	// BackendStructural is the paper's pattern matcher on the NAND2/INV
+	// subject network (tree or DAG cover, per Options.TreeMode).
+	BackendStructural Backend = iota
+	// BackendCuts matches Boolean functions: it structurally hashes the
+	// subject network into an AIG, enumerates k-feasible cuts per node,
+	// and matches each cut's NPN-canonicalized truth table against
+	// precomputed library cell signatures (or generic LUT cells).
+	BackendCuts
+)
+
+func (b Backend) String() string {
+	if b == BackendCuts {
+		return "cuts"
+	}
+	return "structural"
+}
+
 // Options configures Map.
 type Options struct {
 	Objective Objective
 	Library   *genlib.Library
+	// Backend selects the match enumerator: the structural pattern matcher
+	// (default) or the cut-based NPN Boolean matcher over a structurally
+	// hashed AIG.
+	Backend Backend
+	// LUT, with BackendCuts, replaces library matching by a generic-LUT
+	// workload: every k-feasible cut maps to a synthetic k-input LUT cell
+	// (2 <= k <= 6). Zero disables LUT mode.
+	LUT int
 	// TreeMode restricts matches to the DAGON-style tree partition; the
 	// default (false) is the paper's fanout-division DAG heuristic
-	// (Section 3.3).
+	// (Section 3.3). It applies to the structural backend only: cut
+	// matches see through the strash-shared AIG, where the tree partition
+	// of the subject network has no meaning.
 	TreeMode bool
 	// Epsilon is the curve ε-pruning width in ns (Section 3.1). Zero means
 	// the default 0.05 ns; a negative value disables ε-pruning and keeps
@@ -148,7 +181,7 @@ type state struct {
 	opt     Options
 	lib     *genlib.Library
 	env     power.Environment
-	matcher *matcher
+	matcher matchSource
 	sub     *network.Network
 	model   *prob.Model
 	curves  map[*network.Node]*Curve
@@ -186,11 +219,19 @@ func Map(ctx context.Context, sub *network.Network, model *prob.Model, opt Optio
 	} else if opt.AreaTiebreak < 0 {
 		opt.AreaTiebreak = 0
 	}
+	if opt.LUT != 0 {
+		if opt.Backend != BackendCuts {
+			return nil, fmt.Errorf("mapper: LUT mode requires the cuts backend")
+		}
+		if opt.LUT < 2 || opt.LUT > maxCutInputs {
+			return nil, fmt.Errorf("mapper: LUT arity %d out of range 2..%d", opt.LUT, maxCutInputs)
+		}
+	}
 	s := &state{
 		opt:     opt,
 		lib:     opt.Library,
 		env:     env,
-		matcher: &matcher{lib: opt.Library, treeMode: opt.TreeMode},
+		matcher: newMatcher(opt.Library, opt.TreeMode),
 		sub:     sub,
 		model:   model,
 		curves:  make(map[*network.Node]*Curve),
@@ -209,8 +250,17 @@ func Map(ctx context.Context, sub *network.Network, model *prob.Model, opt Optio
 	if s.poLoad == 0 {
 		s.poLoad = 2 * s.cdef
 	}
+	if opt.Backend == BackendCuts {
+		span := opt.Obs.StartCtx(ctx, "mapper.cuts")
+		cm, err := newCutMatcher(ctx, sub, opt)
+		span.End()
+		if err != nil {
+			return nil, err
+		}
+		s.matcher = cm
+	}
 	span := opt.Obs.StartCtx(ctx, "mapper.curves")
-	span.SetAttr("workers", s.workers).SetAttr("tree_mode", opt.TreeMode)
+	span.SetAttr("workers", s.workers).SetAttr("tree_mode", opt.TreeMode).SetAttr("backend", opt.Backend.String())
 	err := s.postorder(ctx)
 	span.SetAttr("nodes", len(s.curves))
 	span.End()
@@ -260,22 +310,30 @@ func (s *state) postorder(ctx context.Context) error {
 		}
 		return nil
 	}
-	if s.opt.TreeMode {
+	if s.opt.TreeMode && s.opt.Backend != BackendCuts {
 		return s.postorderTrees(ctx, internal)
 	}
 	return s.postorderLevels(ctx, internal)
 }
 
-// postorderLevels schedules the DAG by topological level: every match at a
-// node only reads curves of nodes in its fanin cone, which sit on strictly
-// smaller levels, so all nodes of one level are independent. Curves are
-// installed into s.curves between levels — tasks never write shared state.
+// postorderLevels schedules the DAG by dependency level: every match at a
+// node only reads curves of its match inputs, which sit on strictly
+// smaller levels, so all nodes of one level are independent. For the
+// structural backend the dependencies are the network fanins (matches stay
+// inside the fanin cone); cut matches may bind any topologically earlier
+// node as a leaf, so the cut backend levels by its precomputed leaf sets.
+// Curves are installed into s.curves between levels — tasks never write
+// shared state.
 func (s *state) postorderLevels(ctx context.Context, internal []*network.Node) error {
+	depsOf := func(n *network.Node) []*network.Node { return n.Fanin }
+	if cm, ok := s.matcher.(*cutMatcher); ok {
+		depsOf = cm.depsOf
+	}
 	level := make(map[*network.Node]int, len(internal))
 	var groups [][]*network.Node
-	for _, n := range internal { // topo order: fanin levels already known
+	for _, n := range internal { // topo order: dependency levels already known
 		l := 0
-		for _, f := range n.Fanin {
+		for _, f := range depsOf(n) {
 			if !f.IsSource() {
 				if fl := level[f] + 1; fl > l {
 					l = fl
@@ -559,6 +617,7 @@ func (s *state) addMatchPoints(curve *Curve, n *network.Node, m Match, local map
 			Cell:    m.Cell,
 			Drive:   drive,
 			Inputs:  choices,
+			class:   m.Class,
 		})
 	}
 }

@@ -171,7 +171,7 @@ func TestMatcherFindsComplexGates(t *testing.T) {
 		t.Fatal(err)
 	}
 	lib := genlib.Lib2()
-	m := &matcher{lib: lib}
+	m := newMatcher(lib, false)
 	found := false
 	for _, match := range m.matchesAt(inv) {
 		if match.Cell.Name == "aoi21" {
@@ -210,7 +210,7 @@ func TestXorLeafDagMatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	lib := genlib.Lib2()
-	m := &matcher{lib: lib}
+	m := newMatcher(lib, false)
 	found := false
 	for _, match := range m.matchesAt(out) {
 		if match.Cell.Name == "xor2" {

@@ -21,6 +21,25 @@ type Match struct {
 	// Covered counts the subject nodes hidden inside the match (the
 	// merged(n,g) set), used for diagnostics and ablations.
 	Covered int
+	// Class is the NPN class key of the matched function when the match
+	// came from the cut backend ("" for structural matches); it flows to
+	// the map.site journal event of the selected gate.
+	Class string
+}
+
+// matchSource enumerates candidate matches per subject node. The
+// structural matcher computes them on demand; the cut backend returns
+// tables precomputed on the coordinator. Implementations must be safe for
+// concurrent matchesAt calls and deterministic: same node, same slice.
+type matchSource interface {
+	matchesAt(n *network.Node) []Match
+}
+
+// patEntry is one compiled pattern with its owning cell, as stored in the
+// matcher's root-kind index.
+type patEntry struct {
+	cell *genlib.Cell
+	pat  *genlib.Pattern
 }
 
 // matcher enumerates structural matches of library patterns on the subject
@@ -30,6 +49,31 @@ type matcher struct {
 	// treeMode forbids matches that hide a multi-fanout node inside a
 	// cover (strict DAGON-style tree partitioning).
 	treeMode bool
+	// Patterns indexed by root kind: a pattern can only match at a node
+	// whose gate kind equals its root's, so matchesAt walks one bucket
+	// instead of every pattern of every cell. Bucket order preserves the
+	// library's (cell, pattern) enumeration order, keeping match order —
+	// and therefore stable-sort tie-breaking downstream — unchanged.
+	invRooted  []patEntry
+	nandRooted []patEntry
+}
+
+// newMatcher builds the structural matcher and its root-kind pattern
+// index. Compiled patterns are always INV- or NAND-rooted (bare-leaf wire
+// patterns are skipped at library load), so two buckets cover the library.
+func newMatcher(lib *genlib.Library, treeMode bool) *matcher {
+	m := &matcher{lib: lib, treeMode: treeMode}
+	for _, cell := range lib.Cells {
+		for _, pat := range cell.Patterns {
+			switch pat.Kind {
+			case genlib.PatInv:
+				m.invRooted = append(m.invRooted, patEntry{cell, pat})
+			case genlib.PatNand:
+				m.nandRooted = append(m.nandRooted, patEntry{cell, pat})
+			}
+		}
+	}
+	return m
 }
 
 // matchesAt enumerates all matches of all library cells at node n.
@@ -38,22 +82,27 @@ func (m *matcher) matchesAt(n *network.Node) []Match {
 	if n.Kind != network.Internal {
 		return nil
 	}
+	var entries []patEntry
+	switch {
+	case decomp.IsInv(n):
+		entries = m.invRooted
+	case decomp.IsNand2(n):
+		entries = m.nandRooted
+	}
 	var out []Match
 	seen := map[string]bool{}
-	for _, cell := range m.lib.Cells {
-		for _, pat := range cell.Patterns {
-			bindings := m.matchPattern(pat, n, true)
-			for _, b := range bindings {
-				if !b.complete(cell.NumInputs()) {
-					continue
-				}
-				key := cell.Name + "|" + b.key()
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				out = append(out, Match{Cell: cell, Inputs: b.pins, Covered: pat.Size()})
+	for _, e := range entries {
+		bindings := m.matchPattern(e.pat, n, true)
+		for _, b := range bindings {
+			if !b.complete(e.cell.NumInputs()) {
+				continue
 			}
+			key := e.cell.Name + "|" + b.key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Match{Cell: e.cell, Inputs: b.pins, Covered: e.pat.Size()})
 		}
 	}
 	return out

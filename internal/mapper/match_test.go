@@ -1,0 +1,113 @@
+package mapper
+
+import (
+	"testing"
+
+	"powermap/internal/decomp"
+	"powermap/internal/genlib"
+	"powermap/internal/network"
+)
+
+// and2Subject builds y = INV(NAND(a,b)) — the and2 pattern — with the
+// inner NAND given a second consumer so it is a multi-fanout node hidden
+// inside the and2 match.
+func and2Subject() (*network.Network, *network.Node) {
+	nw := network.New("and2")
+	a, b := nw.AddPI("a"), nw.AddPI("b")
+	nd := nw.AddNode("nd", []*network.Node{a, b}, decomp.Nand2Cover())
+	y := nw.AddNode("y", []*network.Node{nd}, decomp.InvCover())
+	other := nw.AddNode("other", []*network.Node{nd}, decomp.InvCover())
+	nw.MarkOutput("y", y)
+	nw.MarkOutput("other", other)
+	return nw, y
+}
+
+// TestTreeModeExcludesMultiFanoutInterior is the tree/DAG covering
+// contract: a match that hides a multi-fanout node inside its cover is
+// rejected in tree mode (the DAGON partition never crosses a fanout
+// point) and accepted in DAG mode (Section 3.3's fanout-division
+// heuristic prices the duplication instead of forbidding it).
+func TestTreeModeExcludesMultiFanoutInterior(t *testing.T) {
+	lib := genlib.Lib2()
+	_, y := and2Subject()
+
+	hasCell := func(ms []Match, name string) bool {
+		for _, m := range ms {
+			if m.Cell.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	dag := newMatcher(lib, false).matchesAt(y)
+	if !hasCell(dag, "and2") {
+		t.Error("DAG mode did not match and2 over the multi-fanout NAND")
+	}
+	tree := newMatcher(lib, true).matchesAt(y)
+	if hasCell(tree, "and2") {
+		t.Error("tree mode matched and2 across a multi-fanout interior node")
+	}
+	// The root-only inverter match must survive in both modes.
+	if !hasCell(dag, "inv1") || !hasCell(tree, "inv1") {
+		t.Error("inverter match missing at INV root")
+	}
+}
+
+// TestRootKindIndexEquivalent checks the root-kind buckets are a pure
+// index: for every node of a real subject network, the bucketed matcher
+// returns exactly what brute-force matching over all patterns returns.
+func TestRootKindIndexEquivalent(t *testing.T) {
+	lib := genlib.Lib2()
+	sub, _ := subject(t, smallBlif)
+	m := newMatcher(lib, false)
+	for _, n := range sub.TopoOrder() {
+		if n.IsSource() {
+			continue
+		}
+		got := m.matchesAt(n)
+		var want []Match
+		seen := map[string]bool{}
+		for _, cell := range lib.Cells {
+			for _, pat := range cell.Patterns {
+				for _, b := range m.matchPattern(pat, n, true) {
+					if !b.complete(cell.NumInputs()) {
+						continue
+					}
+					key := cell.Name + "|" + b.key()
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					want = append(want, Match{Cell: cell, Inputs: b.pins})
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("node %s: index found %d matches, brute force %d", n.Name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Cell != want[i].Cell {
+				t.Fatalf("node %s match %d: index cell %s, brute force %s",
+					n.Name, i, got[i].Cell.Name, want[i].Cell.Name)
+			}
+		}
+	}
+}
+
+// TestRootKindIndexSkipsWrongRoot: an INV root must never see nand-rooted
+// patterns and vice versa.
+func TestRootKindIndexSkipsWrongRoot(t *testing.T) {
+	lib := genlib.Lib2()
+	_, y := and2Subject() // y is an INV node
+	for _, m := range newMatcher(lib, false).matchesAt(y) {
+		if m.Cell.Name == "nand2" {
+			t.Errorf("nand2 matched at INV root %s", y.Name)
+		}
+	}
+	nd := y.Fanin[0] // the NAND node
+	for _, m := range newMatcher(lib, false).matchesAt(nd) {
+		if m.Cell.Name == "inv1" {
+			t.Errorf("inv1 matched at NAND root %s", nd.Name)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package npn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allTransforms enumerates every NPN transform over n inputs:
+// n! permutations x 2^n input flips x 2 output phases.
+func allTransforms(n int) []Transform {
+	var out []Transform
+	for _, perm := range permsByN[n] {
+		for fl := 0; fl < 1<<uint(n); fl++ {
+			for neg := 0; neg < 2; neg++ {
+				out = append(out, Transform{Perm: perm, Flips: uint8(fl), NegOut: neg == 1})
+			}
+		}
+	}
+	return out
+}
+
+// TestCanonicalExhaustiveSmall brute-forces every function of n <= 3 inputs
+// against every member of its NPN orbit: all class members must
+// canonicalize to the same representative, the representative must be in
+// the orbit, and the returned transform must actually produce it.
+func TestCanonicalExhaustiveSmall(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		ts := allTransforms(n)
+		size := uint64(1) << (1 << uint(n))
+		for f := uint64(0); f < size; f++ {
+			rep, tr := Canonical(f, n)
+			if got := tr.Apply(f, n); got != rep {
+				t.Fatalf("n=%d f=%#x: transform gives %#x, want rep %#x", n, f, got, rep)
+			}
+			for _, u := range ts {
+				g := u.Apply(f, n)
+				if rep2, _ := Canonical(g, n); rep2 != rep {
+					t.Fatalf("n=%d f=%#x: orbit member %#x canonicalizes to %#x, want %#x",
+						n, f, g, rep2, rep)
+				}
+				if g < rep {
+					t.Fatalf("n=%d f=%#x: orbit member %#x below representative %#x", n, f, g, rep)
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalOrbitN4 samples functions of 4 inputs and checks the full
+// orbit (24 x 16 x 2 = 768 transforms) agrees on one representative.
+func TestCanonicalOrbitN4(t *testing.T) {
+	r := rand.New(rand.NewSource(1993))
+	ts := allTransforms(4)
+	for i := 0; i < 300; i++ {
+		f := r.Uint64() & Mask(4)
+		rep, tr := Canonical(f, 4)
+		if got := tr.Apply(f, 4); got != rep {
+			t.Fatalf("f=%#x: transform gives %#x, want %#x", f, got, rep)
+		}
+		for _, u := range ts {
+			g := u.Apply(f, 4)
+			if rep2, _ := Canonical(g, 4); rep2 != rep {
+				t.Fatalf("f=%#x: orbit member %#x canonicalizes to %#x, want %#x", f, g, rep2, rep)
+			}
+		}
+	}
+}
+
+// TestTransformAlgebra proves Invert and Compose against Apply on random
+// functions for every n: round-trips restore f, and composition equals
+// sequential application.
+func TestTransformAlgebra(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for n := 0; n <= Max; n++ {
+		for i := 0; i < 50; i++ {
+			f := r.Uint64() & Mask(n)
+			a := randTransform(r, n)
+			b := randTransform(r, n)
+			if got := a.Invert().Apply(a.Apply(f, n), n); got != f {
+				t.Fatalf("n=%d: invert round-trip %#x != %#x (t=%+v)", n, got, f, a)
+			}
+			if got := a.Apply(a.Invert().Apply(f, n), n); got != f {
+				t.Fatalf("n=%d: reverse invert round-trip %#x != %#x", n, got, f)
+			}
+			want := a.Apply(b.Apply(f, n), n)
+			if got := Compose(a, b).Apply(f, n); got != want {
+				t.Fatalf("n=%d: compose(a,b) gives %#x, want a(b(f)) = %#x", n, got, want)
+			}
+		}
+	}
+}
+
+func randTransform(r *rand.Rand, n int) Transform {
+	tr := Identity()
+	perm := r.Perm(n)
+	for j, p := range perm {
+		tr.Perm[j] = uint8(p)
+	}
+	tr.Flips = uint8(r.Intn(1 << uint(n)))
+	tr.NegOut = r.Intn(2) == 1
+	return tr
+}
+
+// TestAutomorphisms checks the automorphism group on known functions and
+// that every returned transform fixes the function.
+func TestAutomorphisms(t *testing.T) {
+	and2 := uint64(0b1000) // x0 & x1
+	auts := Automorphisms(and2, 2, 0)
+	// AND2 is fixed only by the two input permutations (no flip/negation
+	// pattern maps AND back to AND).
+	if len(auts) != 2 {
+		t.Fatalf("AND2 automorphisms: got %d, want 2 (%+v)", len(auts), auts)
+	}
+	xor2 := uint64(0b0110)
+	auts = Automorphisms(xor2, 2, 0)
+	// XOR2: 2 perms x {no flips; both flips; one flip + output negation x2}.
+	if len(auts) != 8 {
+		t.Fatalf("XOR2 automorphisms: got %d, want 8", len(auts))
+	}
+	for _, f := range []uint64{and2, xor2, 0b11010010} {
+		n := 3
+		if f < 16 {
+			n = 2
+		}
+		for _, u := range Automorphisms(f, n, 0) {
+			if got := u.Apply(f, n); got != f {
+				t.Fatalf("automorphism %+v moves %#x to %#x", u, f, got)
+			}
+		}
+	}
+	if got := Automorphisms(xor2, 2, 3); len(got) != 3 {
+		t.Fatalf("limit ignored: got %d transforms, want 3", len(got))
+	}
+	id := Automorphisms(and2, 2, 1)[0]
+	if id != Identity() {
+		t.Fatalf("first automorphism %+v is not the identity", id)
+	}
+}
+
+// TestSupportReduce checks vacuous-input elimination.
+func TestSupportReduce(t *testing.T) {
+	// f(x0,x1,x2) = x0 & x2 — x1 vacuous.
+	var f uint64
+	for x := 0; x < 8; x++ {
+		if x&1 == 1 && x&4 != 0 {
+			f |= 1 << uint(x)
+		}
+	}
+	sup := Support(f, 3)
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 2 {
+		t.Fatalf("support: got %v, want [0 2]", sup)
+	}
+	g, kept := Reduce(f, 3)
+	if g != 0b1000 || len(kept) != 2 {
+		t.Fatalf("reduce: got %#x over %v, want 0x8 over [0 2]", g, kept)
+	}
+	// Constant functions reduce to empty support.
+	if g, kept := Reduce(0, 4); g != 0 || len(kept) != 0 {
+		t.Fatalf("constant reduce: got %#x over %v", g, kept)
+	}
+	// Full-support functions come back unchanged.
+	if g, kept := Reduce(0b0110, 2); g != 0b0110 || len(kept) != 2 {
+		t.Fatalf("full-support reduce: got %#x over %v", g, kept)
+	}
+}
+
+// TestVarProjection pins the projection tables the AIG cut evaluator
+// builds leaf functions from.
+func TestVarProjection(t *testing.T) {
+	if got := Var(0, 2); got != 0b1010 {
+		t.Fatalf("Var(0,2) = %#b", got)
+	}
+	if got := Var(1, 2); got != 0b1100 {
+		t.Fatalf("Var(1,2) = %#b", got)
+	}
+	for i := 0; i < Max; i++ {
+		f := Var(i, Max)
+		if sup := Support(f, Max); len(sup) != 1 || sup[0] != i {
+			t.Fatalf("Var(%d): support %v", i, sup)
+		}
+	}
+}
+
+// FuzzCanonical fuzzes the canonicalizer up to n = 6: for arbitrary f and
+// an arbitrary transform seed, the transformed function must canonicalize
+// to the same representative and never below it.
+func FuzzCanonical(f *testing.F) {
+	f.Add(uint64(0b0110_1001), uint8(3), uint8(0x15), true)
+	f.Add(uint64(0xcafebabe_deadbeef), uint8(6), uint8(0), false)
+	f.Add(uint64(0x8000), uint8(4), uint8(0xff), true)
+	f.Fuzz(func(t *testing.T, tt uint64, nRaw, seed uint8, neg bool) {
+		n := int(nRaw % (Max + 1))
+		tt &= Mask(n)
+		rep, tr := Canonical(tt, n)
+		if got := tr.Apply(tt, n); got != rep {
+			t.Fatalf("n=%d f=%#x: transform does not reach rep: %#x != %#x", n, tt, got, rep)
+		}
+		if rep > tt {
+			t.Fatalf("n=%d f=%#x: representative %#x above input", n, tt, rep)
+		}
+		// Derive one orbit member from the fuzzed seed and check agreement.
+		u := Identity()
+		perms := permsByN[n]
+		u.Perm = perms[int(seed)%len(perms)]
+		u.Flips = seed % uint8(1<<uint(n))
+		u.NegOut = neg
+		g := u.Apply(tt, n)
+		rep2, _ := Canonical(g, n)
+		if rep2 != rep {
+			t.Fatalf("n=%d f=%#x: orbit member %#x gives rep %#x, want %#x", n, tt, g, rep2, rep)
+		}
+	})
+}

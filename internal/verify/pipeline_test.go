@@ -8,6 +8,7 @@ import (
 	"powermap/internal/circuits"
 	"powermap/internal/core"
 	"powermap/internal/genlib"
+	"powermap/internal/mapper"
 )
 
 // TestSynthesizePropertyFuzz drives the whole pipeline over seeded random
@@ -80,6 +81,39 @@ func TestBundledCircuitsVerify(t *testing.T) {
 			}
 			if err := CheckResult(ctx, src, res); err != nil {
 				t.Errorf("%s/%v: %v", b.Name, m, err)
+			}
+		}
+	}
+}
+
+// TestBundledCircuitsVerifyCutBackend proves original ≡ decomposed ≡
+// mapped when matching is done by the cut-based NPN backend, in both
+// library and generic-LUT modes. The mapped netlist is proven equivalent
+// to the source by construction-independent global BDDs, so the proof
+// covers the whole AIG/cut/NPN match chain.
+func TestBundledCircuitsVerifyCutBackend(t *testing.T) {
+	ctx := context.Background()
+	for _, b := range circuits.Suite() {
+		if testing.Short() && b.Name != "cm42a" && b.Name != "decod" {
+			continue
+		}
+		src := b.Build()
+		for _, lut := range []int{0, 4} {
+			var audit CurveAuditor
+			res, err := core.SynthesizeContext(ctx, src, core.Options{
+				Method:     core.MethodVI,
+				Mapper:     mapper.BackendCuts,
+				LUT:        lut,
+				CurveAudit: audit.Hook(),
+			})
+			if err != nil {
+				t.Fatalf("%s/lut=%d: synthesize: %v", b.Name, lut, err)
+			}
+			if err := CheckResult(ctx, src, res); err != nil {
+				t.Errorf("%s/lut=%d: %v", b.Name, lut, err)
+			}
+			if err := audit.Err(); err != nil {
+				t.Errorf("%s/lut=%d: curve invariant: %v", b.Name, lut, err)
 			}
 		}
 	}

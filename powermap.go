@@ -66,6 +66,9 @@ type (
 	Strategy = decomp.Strategy
 	// Objective selects the mapping cost (area-delay or power-delay).
 	Objective = mapper.Objective
+	// MapperBackend selects the mapper's match enumerator (structural
+	// pattern matching or cut-based NPN Boolean matching).
+	MapperBackend = mapper.Backend
 	// Benchmark is one entry of the built-in benchmark suite.
 	Benchmark = circuits.Benchmark
 )
@@ -98,6 +101,15 @@ const (
 const (
 	AreaDelay  = mapper.AreaDelay
 	PowerDelay = mapper.PowerDelay
+)
+
+// Mapper backends: the paper's structural pattern matcher (the default)
+// and the cut-based NPN Boolean matcher over a structurally hashed AIG.
+// Select with Options.Mapper; Options.LUT switches the cuts backend to a
+// generic k-LUT workload.
+const (
+	BackendStructural = mapper.BackendStructural
+	BackendCuts       = mapper.BackendCuts
 )
 
 // Observability re-exports (see internal/obs): set Options.Obs to a
