@@ -133,3 +133,43 @@ func TestSynthesizeContextCancel(t *testing.T) {
 		t.Errorf("error %q does not mention cancellation", err)
 	}
 }
+
+// TestSampleActivitiesDeterministicAcrossWorkers pins the sampling
+// engine's concurrency contract at the facade: for every worker count the
+// bit-parallel estimates are identical, including at vector counts that
+// are multiples of neither the 64-lane word nor the chunk size.
+func TestSampleActivitiesDeterministicAcrossWorkers(t *testing.T) {
+	b, err := BenchmarkByName("cm42a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := b.Build()
+	order := nw.TopoOrder()
+	for _, vectors := range []int{777, 1537} {
+		var want *SamplingResult
+		for _, w := range []int{1, 2, 8} {
+			res, err := SampleActivities(context.Background(), nw, nil, SamplingOptions{
+				Vectors: vectors,
+				Seed:    23,
+				Workers: w,
+			})
+			if err != nil {
+				t.Fatalf("vectors=%d workers=%d: %v", vectors, w, err)
+			}
+			if w == 1 {
+				want = res
+				continue
+			}
+			if res.MaxActivityCI != want.MaxActivityCI || res.Vectors != want.Vectors {
+				t.Errorf("vectors=%d workers=%d: summary (%v, %d) diverged from sequential (%v, %d)",
+					vectors, w, res.MaxActivityCI, res.Vectors, want.MaxActivityCI, want.Vectors)
+			}
+			for _, n := range order {
+				if res.Estimates[n] != want.Estimates[n] {
+					t.Errorf("vectors=%d workers=%d node %s: %+v != sequential %+v",
+						vectors, w, n.Name, res.Estimates[n], want.Estimates[n])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"powermap/internal/prob"
+	"powermap/internal/sim"
+)
+
+// activityFlags is the shared activity-engine flag set: which engine
+// computes switching activities (exact BDDs, the bit-parallel sampling
+// engine, or the auto policy) and the sampling engine's budget and
+// confidence-interval tuning. Registered by every CLI that estimates
+// activities, mirroring the bddflags/mapflags idiom.
+type activityFlags struct {
+	engine        *string
+	vectors       *int
+	targetCI      *float64
+	confidence    *float64
+	autoThreshold *int
+	trans         *float64
+}
+
+// addActivityFlags registers the shared -activity/-vectors/-auto-threshold
+// flags; detail additionally registers the estimation-only knobs (-ci,
+// -confidence, -trans) that pipeline tools leave at their defaults.
+func addActivityFlags(fs *flag.FlagSet, detail bool) *activityFlags {
+	a := &activityFlags{
+		engine:        fs.String("activity", "exact", "activity engine: exact (global BDDs), sample (bit-parallel Monte-Carlo), auto (exact below -auto-threshold nodes or on a node-limit failure, sampling otherwise)"),
+		vectors:       fs.Int("vectors", sim.DefaultSampleVectors, "sampling budget in vectors for -activity sample/auto"),
+		autoThreshold: fs.Int("auto-threshold", prob.DefaultAutoThreshold, "node count above which -activity auto samples instead of building exact BDDs"),
+	}
+	if detail {
+		a.targetCI = fs.Float64("ci", 0, "sample sequentially until every node's activity CI half-width is at most this target (0 = fixed -vectors budget)")
+		a.confidence = fs.Float64("confidence", sim.DefaultConfidence, "confidence level of the sampling engine's reported intervals")
+		a.trans = fs.Float64("trans", -1, "uniform per-PI lag-one toggle probability (forces sampling; negative = temporally independent inputs)")
+	} else {
+		zero, conf, off := 0.0, sim.DefaultConfidence, -1.0
+		a.targetCI, a.confidence, a.trans = &zero, &conf, &off
+	}
+	return a
+}
+
+// policy resolves the -activity/-auto-threshold pair.
+func (a *activityFlags) policy() (prob.Policy, error) {
+	p := prob.Policy{AutoThreshold: *a.autoThreshold}
+	switch strings.ToLower(*a.engine) {
+	case "exact":
+		p.Engine = prob.Exact
+	case "sample", "sampling":
+		p.Engine = prob.Sampling
+	case "auto":
+		p.Engine = prob.Auto
+	default:
+		return p, fmt.Errorf("unknown -activity %q (want exact, sample or auto)", *a.engine)
+	}
+	return p, nil
+}
+
+// sampling resolves the sampling-engine options for the given seed and
+// worker count.
+func (a *activityFlags) sampling(seed int64, workers int) sim.BitwiseOptions {
+	return sim.BitwiseOptions{
+		Vectors:    *a.vectors,
+		Seed:       seed,
+		Workers:    workers,
+		Confidence: *a.confidence,
+		TargetCI:   *a.targetCI,
+	}
+}
+
+// transMap resolves -trans into the per-PI toggle-probability map consumed
+// by sim.AnnotateOptions.Trans (nil when unset).
+func (a *activityFlags) transMap(piNames []string) map[string]float64 {
+	if *a.trans < 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(piNames))
+	for _, name := range piNames {
+		m[name] = *a.trans
+	}
+	return m
+}

@@ -35,6 +35,7 @@ func Pbench(args []string, out, errOut io.Writer) error {
 		note      = fs.String("note", "", "free-form note to record in the manifest")
 		wide      = fs.Bool("wide", true, "also run the wide-BDD workload and record peak-node/GC/reorder metrics")
 		cuts      = fs.Bool("cuts", false, "also run the suite once with the cut-based NPN mapper backend, recording cuts.-prefixed phases and metrics")
+		sampling  = fs.Bool("sampling", true, "also time the scalar vs bit-parallel activity engines and record the speedup as a metric")
 		jdir      = fs.String("journal-dir", "", "directory receiving the final run's decision journals, cross-checked against the fingerprint counters")
 		runID     = fs.String("run-id", "", "run identifier stamped into the manifest and journal headers (default: generated when -journal-dir is set)")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
@@ -49,6 +50,7 @@ func Pbench(args []string, out, errOut io.Writer) error {
 		Note:       *note,
 		Wide:       *wide,
 		Cuts:       *cuts,
+		Sampling:   *sampling,
 		JournalDir: *jdir,
 		RunID:      *runID,
 		Command:    "pbench " + strings.Join(args, " "),

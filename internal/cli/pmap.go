@@ -16,11 +16,11 @@ import (
 	"powermap/internal/circuits"
 	"powermap/internal/core"
 	"powermap/internal/genlib"
+	glitchsim "powermap/internal/glitch"
 	"powermap/internal/huffman"
 	"powermap/internal/journal"
 	"powermap/internal/network"
 	"powermap/internal/power"
-	"powermap/internal/sim"
 )
 
 // Pmap runs the pmap command: the full synthesis flow plus reporting.
@@ -57,11 +57,16 @@ func Pmap(args []string, out, errOut io.Writer) error {
 	)
 	bddf := addBDDFlags(fs)
 	mapf := addMapFlags(fs)
+	actf := addActivityFlags(fs, false)
 	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	backend, treeMode, lut, err := mapf.resolve(*tree)
+	if err != nil {
+		return err
+	}
+	activity, err := actf.policy()
 	if err != nil {
 		return err
 	}
@@ -120,21 +125,23 @@ func Pmap(args []string, out, errOut io.Writer) error {
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
 	res, err := core.SynthesizeContext(ctx, src, core.Options{
-		Method:       m,
-		Style:        st,
-		Exact:        *exact,
-		PIProb:       probs,
-		Relax:        relax,
-		Epsilon:      *epsilon,
-		Mapper:       backend,
-		LUT:          lut,
-		TreeMode:     treeMode,
-		PowerMethod2: *method2,
-		Workers:      *workers,
-		Library:      lib,
-		Obs:          sc,
-		Journal:      jr,
-		BDD:          bddf.config(),
+		Method:          m,
+		Style:           st,
+		Exact:           *exact,
+		PIProb:          probs,
+		Relax:           relax,
+		Epsilon:         *epsilon,
+		Mapper:          backend,
+		LUT:             lut,
+		TreeMode:        treeMode,
+		PowerMethod2:    *method2,
+		Workers:         *workers,
+		Library:         lib,
+		Obs:             sc,
+		Journal:         jr,
+		BDD:             bddf.config(),
+		Activity:        activity,
+		ActivityVectors: *actf.vectors,
 	})
 	if cerr := jr.Close(); cerr != nil && err == nil {
 		err = fmt.Errorf("journal: %w", cerr)
@@ -170,7 +177,7 @@ func Pmap(args []string, out, errOut io.Writer) error {
 			swaps, res.Netlist.Report.GateArea, res.Netlist.Report.Delay, res.Netlist.Report.PowerUW)
 	}
 	if *glitch > 0 {
-		rep, err := sim.Glitch(res.Netlist, res.Decomp.Network, probs, *glitch, 1, power.Default())
+		rep, err := glitchsim.Simulate(res.Netlist, res.Decomp.Network, probs, *glitch, 1, power.Default())
 		if err != nil {
 			return err
 		}

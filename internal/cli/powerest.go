@@ -7,12 +7,9 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"sort"
 	"time"
 
-	"powermap/internal/bdd"
-	"powermap/internal/blif"
 	"powermap/internal/huffman"
 	"powermap/internal/journal"
 	"powermap/internal/network"
@@ -44,6 +41,7 @@ func Powerest(args []string, out, errOut io.Writer) error {
 	fs.SetOutput(errOut)
 	var (
 		blifPath = fs.String("blif", "", "input BLIF netlist")
+		circuit  = fs.String("circuit", "", "built-in benchmark name (see pmap -list)")
 		style    = fs.String("style", "static", "design style: static, domino-p, domino-n")
 		piProb   = fs.Float64("prob", 0.5, "uniform P(pi=1) for all primary inputs")
 		perNode  = fs.Bool("nodes", false, "print per-node probabilities and activities")
@@ -59,6 +57,7 @@ func Powerest(args []string, out, errOut io.Writer) error {
 	)
 	bddf := addBDDFlags(fs)
 	mapf := addMapFlags(fs)
+	actf := addActivityFlags(fs, true)
 	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +66,16 @@ func Powerest(args []string, out, errOut io.Writer) error {
 	// interface uniformity but do not change the estimate.
 	if _, _, _, err := mapf.resolve(false); err != nil {
 		return err
+	}
+	policy, err := actf.policy()
+	if err != nil {
+		return err
+	}
+	// -approx N is the historical spelling of "auto with an N-vector
+	// budget": kept as an alias so existing invocations behave unchanged.
+	if *approx > 0 && policy.Engine == prob.Exact {
+		policy.Engine = prob.Auto
+		*actf.vectors = *approx
 	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -77,15 +86,7 @@ func Powerest(args []string, out, errOut io.Writer) error {
 			fmt.Fprintf(errOut, "powerest: profile: %v\n", perr)
 		}
 	}()
-	if *blifPath == "" {
-		return fmt.Errorf("powerest: need -blif FILE")
-	}
-	f, err := os.Open(*blifPath)
-	if err != nil {
-		return err
-	}
-	nw, err := blif.Parse(f)
-	f.Close()
+	nw, err := LoadNetwork(*blifPath, *circuit)
 	if err != nil {
 		return err
 	}
@@ -123,47 +124,33 @@ func Powerest(args []string, out, errOut io.Writer) error {
 			}
 		}()
 	}
-	if *mc > 0 || *approx > 0 {
+	if *mc > 0 || policy.Engine != prob.Exact || *actf.trans >= 0 {
 		fmt.Fprintf(errOut, "powerest: Monte-Carlo seed %d\n", *seed)
 		jr.Event("powerest.seed", map[string]any{"seed": *seed})
 	}
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
 	ctx = obs.WithScope(ctx, sc)
-	span := sc.StartCtx(ctx, "powerest.exact")
-	_, err = prob.ComputeWith(ctx, nw, probs, st, bddf.config())
-	span.End()
-	approximated := false
+	// Annotate runs the configured engine: exact BDDs, the bit-parallel
+	// sampling engine, or auto — which falls back to sampling when exact
+	// BDDs exceed the node limit, as promised by that error's diagnostic.
+	ares, err := sim.Annotate(ctx, nw, probs, sim.AnnotateOptions{
+		Policy:   policy,
+		Style:    st,
+		BDD:      bddf.config(),
+		Sampling: actf.sampling(*seed, *workers),
+		Trans:    actf.transMap(nw.PINames()),
+		Obs:      sc,
+		Journal:  jr,
+	})
 	if err != nil {
-		if *approx <= 0 || !bdd.IsNodeLimit(err) {
-			return timeoutError(*timeout, err)
-		}
-		// The network is too wide for exact global BDDs under the current
-		// limit: fall back to Monte-Carlo probability estimates instead of
-		// failing, as promised by the diagnostic.
-		fmt.Fprintf(errOut, "powerest: %v\n", err)
-		fmt.Fprintf(errOut, "powerest: falling back to approximate activities (%d Monte-Carlo vectors)\n", *approx)
-		span := sc.StartCtx(ctx, "powerest.approx-fallback")
-		span.SetAttr("vectors", *approx).SetAttr("seed", *seed)
-		est, aerr := sim.Activities(nw, probs, *approx, *seed)
-		span.End()
-		if aerr != nil {
-			return timeoutError(*timeout, aerr)
-		}
-		jr.Event("powerest.approx-fallback", map[string]any{"vectors": *approx, "seed": *seed})
-		for _, n := range nw.TopoOrder() {
-			e := est[n]
-			n.Prob1 = e.Prob1
-			switch st {
-			case huffman.Static:
-				n.Activity = e.Activity // measured toggle rate
-			case huffman.DominoP:
-				n.Activity = e.Prob1
-			default:
-				n.Activity = 1 - e.Prob1
-			}
-		}
-		approximated = true
+		return timeoutError(*timeout, err)
+	}
+	approximated := ares.Engine == prob.Sampling
+	if ares.ExactErr != nil {
+		fmt.Fprintf(errOut, "powerest: %v\n", ares.ExactErr)
+		fmt.Fprintf(errOut, "powerest: falling back to approximate activities (%d Monte-Carlo vectors)\n", ares.Vectors)
+		jr.Event("powerest.approx-fallback", map[string]any{"vectors": ares.Vectors, "seed": *seed})
 	}
 
 	var internals []*network.Node
@@ -180,7 +167,13 @@ func Powerest(args []string, out, errOut io.Writer) error {
 	s := nw.Stats()
 	fmt.Fprintf(out, "circuit %s: %d PI, %d PO, %d nodes (%s style)\n", nw.Name, s.PIs, s.POs, s.Nodes, st)
 	if approximated {
-		fmt.Fprintf(out, "activities are approximate (%d Monte-Carlo vectors; exact BDDs exceeded the node limit)\n", *approx)
+		reason := "sampling engine selected"
+		if ares.ExactErr != nil {
+			reason = "exact BDDs exceeded the node limit"
+		}
+		fmt.Fprintf(out, "activities are approximate (%d Monte-Carlo vectors; %s)\n", ares.Vectors, reason)
+		fmt.Fprintf(out, "max activity CI half-width %.4f at %.0f%% confidence\n",
+			ares.Sampled.MaxActivityCI, 100*ares.Sampled.Confidence)
 	}
 	fmt.Fprintf(out, "total internal switching activity: %.4f\n", total)
 	if len(internals) > 0 {
@@ -224,6 +217,14 @@ func Powerest(args []string, out, errOut io.Writer) error {
 
 	switch {
 	case *perNode:
+		if approximated {
+			fmt.Fprintln(out, "\nnode          P(1)     E        ±E")
+			for _, n := range internals {
+				fmt.Fprintf(out, "%-12s %.4f  %.4f  %.4f\n",
+					n.Name, n.Prob1, n.Activity, ares.Sampled.Estimates[n].ActivityCI)
+			}
+			break
+		}
 		fmt.Fprintln(out, "\nnode          P(1)     E")
 		for _, n := range internals {
 			fmt.Fprintf(out, "%-12s %.4f  %.4f\n", n.Name, n.Prob1, n.Activity)

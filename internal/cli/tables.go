@@ -33,11 +33,16 @@ func Tables(args []string, out, errOut io.Writer) error {
 	)
 	bddf := addBDDFlags(fs)
 	mapf := addMapFlags(fs)
+	actf := addActivityFlags(fs, false)
 	tel := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	backend, treeMode, lut, err := mapf.resolve(false)
+	if err != nil {
+		return err
+	}
+	activity, err := actf.policy()
 	if err != nil {
 		return err
 	}
@@ -86,7 +91,7 @@ func Tables(args []string, out, errOut io.Writer) error {
 	if want == "backends" {
 		ctx, cancel := timeoutContext(*timeout)
 		defer cancel()
-		base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, LUT: lut, Workers: *workers, Obs: sc, BDD: bddf.config()}
+		base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, LUT: lut, Workers: *workers, Obs: sc, BDD: bddf.config(), Activity: activity, ActivityVectors: *actf.vectors}
 		fmt.Fprintln(out, "=== Mapper backends: structural vs cuts (Method VI, common constraints) ===")
 		rows, err := eval.CompareBackends(ctx, base, core.MethodVI, names)
 		if err != nil {
@@ -102,7 +107,7 @@ func Tables(args []string, out, errOut io.Writer) error {
 	}
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
-	base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, Mapper: backend, LUT: lut, TreeMode: treeMode, Workers: *workers, Obs: sc, BDD: bddf.config()}
+	base := core.Options{Style: huffman.Static, Relax: relax, Exact: *exact, Mapper: backend, LUT: lut, TreeMode: treeMode, Workers: *workers, Obs: sc, BDD: bddf.config(), Activity: activity, ActivityVectors: *actf.vectors}
 	var jc eval.JournalConfig
 	if *jdir != "" {
 		jc = eval.JournalConfig{Dir: *jdir, RunID: tel.resolveRunID()}

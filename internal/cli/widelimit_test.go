@@ -99,6 +99,52 @@ func TestPowerestApproxFallback(t *testing.T) {
 	}
 }
 
+// TestPowerestAutoSampling drives the -activity auto policy into the node
+// limit: where exact estimation fails cleanly, auto must succeed by
+// sampling, label the output as approximate, and report the interval
+// quality. A deterministic seed keeps the transcript reproducible.
+func TestPowerestAutoSampling(t *testing.T) {
+	path := writeWideBlif(t)
+	var out, errOut bytes.Buffer
+	err := Powerest([]string{
+		"-blif", path, "-bdd-limit", "128",
+		"-activity", "auto", "-vectors", "2048", "-seed", "5",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("-activity auto failed where it must sample: %v\n%s", err, errOut.String())
+	}
+	for _, want := range []string{
+		"activities are approximate (2048 Monte-Carlo vectors; exact BDDs exceeded the node limit)",
+		"max activity CI half-width",
+		"total internal switching activity",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "Monte-Carlo seed 5") {
+		t.Errorf("seed not echoed on the diagnostic stream:\n%s", errOut.String())
+	}
+
+	// Forced sampling skips the exact attempt entirely: no fallback
+	// diagnostic, a different reason label, and still a clean exit.
+	out.Reset()
+	errOut.Reset()
+	err = Powerest([]string{
+		"-blif", path, "-bdd-limit", "128",
+		"-activity", "sample", "-vectors", "1024", "-seed", "5",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("-activity sample failed: %v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "sampling engine selected") {
+		t.Errorf("forced sampling not labeled as selected:\n%s", out.String())
+	}
+	if strings.Contains(errOut.String(), "falling back") {
+		t.Errorf("forced sampling announced a fallback it never took:\n%s", errOut.String())
+	}
+}
+
 // TestPmapReorderFlag runs a real benchmark with -reorder to confirm the
 // flag is plumbed end to end and the reordering flow still verifies.
 func TestPmapReorderFlag(t *testing.T) {

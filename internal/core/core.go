@@ -166,6 +166,17 @@ type Options struct {
 	// thresholds, and dynamic variable reordering by sifting. The zero
 	// value keeps the kernel defaults.
 	BDD bdd.Config
+	// Activity selects the engine measuring the decomposition's switching-
+	// activity objective (decomp's AND/OR activity model): exact BDDs (the
+	// zero value), bit-parallel Monte-Carlo sampling, or auto (exact below
+	// the policy's node threshold, sampling above or on a BDD node-limit
+	// failure). The synthesis models the mapper prices and verifies with
+	// remain exact regardless.
+	Activity prob.Policy
+	// ActivityVectors overrides the sampling budget of that measurement
+	// (0 selects the decomp default). The seed is fixed, so the objective
+	// is deterministic either way.
+	ActivityVectors int
 }
 
 // Float64 returns a pointer to v, for optional fields like Options.Relax.
@@ -235,15 +246,17 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 	span := sc.StartCtx(ctx, "decompose")
 	span.SetAttr("strategy", o.Decomposition.String()).SetAttr("circuit", work.Name)
 	d, err := decomp.Decompose(ctx, work, decomp.Options{
-		Strategy: o.Decomposition,
-		Style:    o.Style,
-		Exact:    o.Exact,
-		PIProb:   o.PIProb,
-		Strash:   o.Strash,
-		Obs:      sc,
-		Journal:  o.Journal,
-		Workers:  o.Workers,
-		BDD:      o.BDD,
+		Strategy:        o.Decomposition,
+		Style:           o.Style,
+		Exact:           o.Exact,
+		PIProb:          o.PIProb,
+		Strash:          o.Strash,
+		Obs:             sc,
+		Journal:         o.Journal,
+		Workers:         o.Workers,
+		BDD:             o.BDD,
+		Activity:        o.Activity,
+		ActivityVectors: o.ActivityVectors,
 	})
 	if err != nil {
 		span.End()

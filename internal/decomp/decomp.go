@@ -35,6 +35,7 @@ import (
 	"powermap/internal/obs"
 	netopt "powermap/internal/opt"
 	"powermap/internal/prob"
+	"powermap/internal/sim"
 	"powermap/internal/sop"
 	"powermap/internal/timing"
 )
@@ -109,7 +110,23 @@ type Options struct {
 	// bdd.ErrNodeLimit, never a panic), GC thresholds, and dynamic
 	// variable reordering by sifting. The zero value keeps the defaults.
 	BDD bdd.Config
+	// Activity selects the engine measuring the AND/OR network's total
+	// switching activity (the Section 2 objective value): exact BDDs (the
+	// zero value), the bit-parallel sampling engine, or auto. Sampling
+	// uses a fixed seed and budget, so the objective stays deterministic
+	// for every worker count. Only the objective measurement is affected;
+	// the planning and final models the mapper consumes stay exact.
+	Activity prob.Policy
+	// ActivityVectors overrides the sampling budget of the objective
+	// measurement (0 selects the fixed default).
+	ActivityVectors int
 }
+
+// activitySampleVectors is the fixed sampling budget of the objective
+// measurement when Activity selects the sampling engine; together with the
+// fixed seed it keeps TotalActivity deterministic across runs and worker
+// counts.
+const activitySampleVectors = 1 << 14
 
 // flushBDDStats folds one BDD manager's work counters into the metrics
 // registry. Call it exactly once per manager, after its last use.
@@ -401,14 +418,30 @@ func Decompose(ctx context.Context, nw *network.Network, opt Options) (*Result, 
 	return res, nil
 }
 
-// andOrActivity sums the exact switching activity over the internal nodes
-// of the materialized AND/OR network (the Section 2 objective value).
+// andOrActivity sums the switching activity over the internal nodes of
+// the materialized AND/OR network (the Section 2 objective value). The
+// Activity policy picks the engine: exact BDDs, the bit-parallel sampling
+// engine (fixed seed and budget, so the objective is deterministic), or
+// auto with a sampling fallback when exact BDDs exceed the node limit.
 func andOrActivity(ctx context.Context, cp *network.Network, opt Options) (float64, error) {
-	m, err := prob.ComputeWith(ctx, cp, opt.PIProb, opt.Style, opt.BDD)
+	vectors := opt.ActivityVectors
+	if vectors <= 0 {
+		vectors = activitySampleVectors
+	}
+	ares, err := sim.Annotate(ctx, cp, opt.PIProb, sim.AnnotateOptions{
+		Policy:   opt.Activity,
+		Style:    opt.Style,
+		BDD:      opt.BDD,
+		Sampling: sim.BitwiseOptions{Vectors: vectors, Seed: 1, Workers: opt.Workers},
+		Obs:      opt.Obs,
+		Journal:  opt.Journal,
+	})
 	if err != nil {
 		return 0, fmt.Errorf("decomp: AND/OR activities: %w", err)
 	}
-	flushBDDStats(opt.Obs, m.Manager())
+	if ares.Model != nil {
+		flushBDDStats(opt.Obs, ares.Model.Manager())
+	}
 	total := 0.0
 	for _, n := range cp.TopoOrder() {
 		if n.Kind == network.Internal {

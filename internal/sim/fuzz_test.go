@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"powermap/internal/blif"
+)
+
+// FuzzBitwiseVsScalar feeds arbitrary BLIF text and a seed through both
+// activity engines on the same vector transcript and demands bit-identical
+// one/toggle counts. The corpus mirrors the BLIF parser's fuzz seeds, so
+// any accepted shape the parser's fuzzer discovers also becomes a
+// cross-engine subject here.
+func FuzzBitwiseVsScalar(f *testing.F) {
+	seeds := []string{
+		testBlif,
+		lagBlif,
+		".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n",
+		".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n",
+		".model m\n.inputs a b \\\n c\n.outputs y\n.names a b c y\n1-1 1\n.end\n",
+		".model m\n.outputs y\n.names y\n1\n.end\n",
+		".model m\n.inputs a\n.outputs y z\n.names k0\n.names a k0 y\n10 1\n.names a z\n0 1\n.end\n",
+	}
+	for _, s := range seeds {
+		f.Add(s, int64(1))
+	}
+	f.Fuzz(func(t *testing.T, input string, seed int64) {
+		nw, err := blif.ParseString(input)
+		if err != nil {
+			return // parser rejections are the parser fuzzer's business
+		}
+		// Size gate: the scalar reference is slow, and enormous accepted
+		// networks add nothing to the bit-identity property.
+		if len(nw.PIs) > 24 || len(nw.TopoOrder()) > 128 {
+			return
+		}
+		const vectors = 130 // crosses two word boundaries with a tail
+		want, err := ActivitiesFrom(nw, IndependentSource(nw, nil, seed), vectors)
+		if err != nil {
+			t.Fatalf("scalar engine rejected an accepted network: %v", err)
+		}
+		got, err := ActivitiesBitwiseFrom(nw, PackVectors(nw, IndependentSource(nw, nil, seed)), vectors)
+		if err != nil {
+			t.Fatalf("bitwise engine rejected an accepted network: %v", err)
+		}
+		for _, n := range nw.TopoOrder() {
+			w, g := want[n], got[n]
+			if w.Ones != g.Ones || w.Toggles != g.Toggles {
+				t.Fatalf("node %s: scalar (ones=%d toggles=%d) vs bitwise (ones=%d toggles=%d)\ninput:\n%s",
+					n.Name, w.Ones, w.Toggles, g.Ones, g.Toggles, input)
+			}
+		}
+	})
+}

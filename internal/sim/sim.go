@@ -1,16 +1,22 @@
-// Package sim implements simulation-based switching-activity estimation:
+// Package sim implements simulation-based switching-activity estimation
+// on Boolean networks: Monte-Carlo zero-delay estimation that
+// cross-validates the exact BDD probabilities of internal/prob on random
+// input streams (the paper's model, Section 1.4).
 //
-//   - Monte-Carlo zero-delay estimation on Boolean networks, which
-//     cross-validates the exact BDD probabilities of internal/prob on
-//     independent random input pairs (the paper's model, Section 1.4);
-//   - unit-delay glitch-aware transition counting on mapped netlists, in
-//     the spirit of the general-delay estimator of Ghosh et al. that the
-//     paper cites: unequal path delays cause hazard transitions that the
-//     zero-delay model ignores, so glitch-aware power is an upper bound on
-//     (and usually strictly above) the zero-delay estimate.
+// Two engines share the vector-stream semantics (an uncounted predecessor
+// draw followed by the counted vectors):
 //
-// Both estimators share the input-vector model: consecutive input vectors
-// are drawn independently with per-input 1-probabilities.
+//   - the scalar engines (Activities, ActivitiesFrom, ActivitiesParallel)
+//     simulate one map-based vector at a time;
+//   - the bit-parallel engine (ActivitiesBitwise, ActivitiesBitwiseFrom)
+//     packs 64 sample lanes per uint64 word over a precompiled evaluation
+//     plan, reports normal-approximation confidence intervals, and fed the
+//     same draw transcript produces bit-identical one/toggle counts.
+//
+// Annotate dispatches between exact BDDs and the sampling engine under a
+// prob.Policy (exact, sampling, or auto with a node-limit fallback).
+// Unit-delay glitch-aware counting on mapped netlists lives in
+// internal/glitch.
 package sim
 
 import (
@@ -19,15 +25,24 @@ import (
 	"math/rand"
 
 	"powermap/internal/exec"
-	"powermap/internal/mapper"
 	"powermap/internal/network"
-	"powermap/internal/power"
 )
 
 // Estimate is a per-signal simulation result.
 type Estimate struct {
 	Prob1    float64 // fraction of time the signal is 1
 	Activity float64 // transitions per cycle (zero-delay: 0 or 1 per pair)
+	// Ones, Toggles and Vectors are the exact integer counts behind Prob1
+	// and Activity; the cross-engine tests compare them bit-for-bit
+	// between the scalar and bit-parallel engines.
+	Ones    int64
+	Toggles int64
+	Vectors int
+	// Prob1CI and ActivityCI are normal-approximation confidence-interval
+	// half-widths, filled by the sampling engine (ActivitiesBitwise) at
+	// its configured confidence level; zero when not computed.
+	Prob1CI    float64
+	ActivityCI float64
 }
 
 // VectorSource draws one primary-input assignment into dst (keyed by PI
@@ -103,6 +118,9 @@ func ActivitiesFrom(nw *network.Network, src VectorSource, vectors int) (map[*ne
 		out[n] = Estimate{
 			Prob1:    float64(ones[n]) / float64(vectors),
 			Activity: float64(toggles[n]) / float64(vectors),
+			Ones:     int64(ones[n]),
+			Toggles:  int64(toggles[n]),
+			Vectors:  vectors,
 		}
 	}
 	return out, nil
@@ -163,6 +181,9 @@ func ActivitiesParallel(ctx context.Context, nw *network.Network, piProb map[str
 		out[n] = Estimate{
 			Prob1:    float64(ones) / float64(vectors),
 			Activity: float64(toggles) / float64(vectors),
+			Ones:     int64(ones),
+			Toggles:  int64(toggles),
+			Vectors:  vectors,
 		}
 	}
 	return out, nil
@@ -206,135 +227,4 @@ func simChunk(order []*network.Node, src VectorSource, vectors int, ones, toggle
 		}
 		prev, cur = cur, prev
 	}
-}
-
-// GlitchReport is the outcome of a glitch-aware netlist simulation.
-type GlitchReport struct {
-	// Transitions counts per-cycle transitions (including hazards) at
-	// every mapped signal.
-	Transitions map[*network.Node]float64
-	// ZeroDelay counts per-cycle final-value toggles at the same signals
-	// over the same vectors, for direct comparison.
-	ZeroDelay map[*network.Node]float64
-	// PowerUW and ZeroDelayPowerUW price the two activity sets with the
-	// actual mapped loads (Equation 1).
-	PowerUW          float64
-	ZeroDelayPowerUW float64
-	Vectors          int
-}
-
-// Glitch simulates the mapped netlist under a unit-delay model: after each
-// input change, gate outputs update once per time step from their inputs'
-// previous-step values, and every intermediate change counts as a
-// transition. Transitions at a signal are therefore ≥ its zero-delay
-// toggles on the same vectors.
-func Glitch(nl *mapper.Netlist, sub *network.Network, piProb map[string]float64, vectors int, seed int64, env power.Environment) (*GlitchReport, error) {
-	if vectors <= 0 {
-		return nil, fmt.Errorf("sim: need a positive vector count, got %d", vectors)
-	}
-	r := rand.New(rand.NewSource(seed))
-	// Collect the mapped signals: gate roots + their source inputs.
-	var gates []*mapper.Gate
-	signals := map[*network.Node]bool{}
-	for _, g := range allGates(nl, sub) {
-		gates = append(gates, g)
-		signals[g.Root] = true
-		for _, in := range g.Inputs {
-			signals[in] = true
-		}
-	}
-	value := map[*network.Node]bool{}
-	trans := map[*network.Node]float64{}
-	zero := map[*network.Node]float64{}
-
-	evalGate := func(g *mapper.Gate, val map[*network.Node]bool) bool {
-		assign := make(map[string]bool, len(g.Inputs))
-		for pin, in := range g.Inputs {
-			assign[g.Cell.Pins[pin].Name] = val[in]
-		}
-		return g.Cell.Expr.Eval(assign)
-	}
-	drawPIs := func() {
-		for _, pi := range sub.PIs {
-			p, ok := piProb[pi.Name]
-			if !ok {
-				p = 0.5
-			}
-			value[pi] = r.Float64() < p
-		}
-	}
-	settle := func(count bool) {
-		// Synchronous unit-delay relaxation to a fixed point. The netlist
-		// is acyclic, so at most depth(netlist) steps are needed.
-		for step := 0; step < len(gates)+1; step++ {
-			next := make(map[*network.Node]bool, len(gates))
-			changed := false
-			for _, g := range gates {
-				v := evalGate(g, value)
-				next[g.Root] = v
-				if v != value[g.Root] {
-					changed = true
-				}
-			}
-			if !changed {
-				break
-			}
-			for root, v := range next {
-				if v != value[root] {
-					if count {
-						trans[root]++
-					}
-					value[root] = v
-				}
-			}
-		}
-	}
-	drawPIs()
-	settle(false) // initialize without counting
-	prevFinal := map[*network.Node]bool{}
-	for s := range signals {
-		prevFinal[s] = value[s]
-	}
-	for v := 0; v < vectors; v++ {
-		// New input vector: PIs toggle instantly and count as transitions.
-		for _, pi := range sub.PIs {
-			old := value[pi]
-			p, ok := piProb[pi.Name]
-			if !ok {
-				p = 0.5
-			}
-			nv := r.Float64() < p
-			value[pi] = nv
-			if nv != old && signals[pi] {
-				trans[pi]++
-			}
-		}
-		settle(true)
-		for s := range signals {
-			if value[s] != prevFinal[s] {
-				zero[s]++
-			}
-			prevFinal[s] = value[s]
-		}
-	}
-	rep := &GlitchReport{
-		Transitions: make(map[*network.Node]float64, len(signals)),
-		ZeroDelay:   make(map[*network.Node]float64, len(signals)),
-		Vectors:     vectors,
-	}
-	for s := range signals {
-		rep.Transitions[s] = trans[s] / float64(vectors)
-		rep.ZeroDelay[s] = zero[s] / float64(vectors)
-		load := nl.Load(s)
-		rep.PowerUW += env.GatePowerUW(load, rep.Transitions[s])
-		rep.ZeroDelayPowerUW += env.GatePowerUW(load, rep.ZeroDelay[s])
-	}
-	return rep, nil
-}
-
-// allGates returns the netlist's gates reachable from the outputs (the
-// Netlist already stores exactly those).
-func allGates(nl *mapper.Netlist, sub *network.Network) []*mapper.Gate {
-	_ = sub
-	return nl.Gates
 }

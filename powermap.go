@@ -39,6 +39,7 @@ import (
 	"powermap/internal/obs"
 	"powermap/internal/power"
 	"powermap/internal/prob"
+	"powermap/internal/sim"
 	"powermap/internal/verify"
 )
 
@@ -244,6 +245,40 @@ func Figure1() (*Network, map[string]float64) { return circuits.Figure1() }
 // returns the probability model.
 func EstimateActivities(nw *Network, piProb map[string]float64, style Style) (*prob.Model, error) {
 	return prob.Compute(nw, piProb, style)
+}
+
+// Activity-engine re-exports (see internal/sim and internal/prob): the
+// bit-parallel sampling estimator and the exact/sampling policy consumed
+// by Options.Activity.
+type (
+	// ActivityPolicy picks the engine that measures switching activities
+	// (exact BDDs, bit-parallel sampling, or auto); the zero value is exact.
+	ActivityPolicy = prob.Policy
+	// ActivityEngine is one of ActivityExact/ActivitySampling/ActivityAuto.
+	ActivityEngine = prob.Engine
+	// SamplingOptions configures SampleActivities (budget, seed, workers,
+	// confidence level, sequential CI target).
+	SamplingOptions = sim.BitwiseOptions
+	// SamplingResult is a completed sampling run: per-node estimates with
+	// confidence intervals plus run-level statistics.
+	SamplingResult = sim.BitwiseResult
+	// ActivityEstimate is one node's sampled estimate.
+	ActivityEstimate = sim.Estimate
+)
+
+// Activity engines selectable via ActivityPolicy.
+const (
+	ActivityExact    = prob.Exact
+	ActivitySampling = prob.Sampling
+	ActivityAuto     = prob.Auto
+)
+
+// SampleActivities estimates signal probabilities and switching activities
+// with the bit-parallel Monte-Carlo engine: 64 sample lanes per machine
+// word over a precompiled evaluation plan, with normal-approximation
+// confidence intervals. Counts are bit-identical for every worker count.
+func SampleActivities(ctx context.Context, nw *Network, piProb map[string]float64, o SamplingOptions) (*SamplingResult, error) {
+	return sim.ActivitiesBitwise(ctx, nw, piProb, o)
 }
 
 // Equivalent reports whether two networks over the same primary inputs
