@@ -101,6 +101,17 @@ type Options struct {
 	// RunID is stamped into the manifest and every journal header; empty
 	// generates one when JournalDir is set.
 	RunID string
+	// SampleInterval, when positive, runs the runtime-resource sampler on
+	// each repetition's scope at this cadence (heap, GC pauses, goroutines),
+	// so bench runs leave resource watermarks beside their wall times.
+	SampleInterval time.Duration
+	// Budgets installs per-phase SLOs on each repetition's scope; a breach
+	// fails the bench run, on the theory that a benchmark exceeding its
+	// declared budget is itself a regression.
+	Budgets []obs.Budget
+	// FlightPath arms the flight recorder's auto-dump on each repetition's
+	// scope: the first failing run leaves a post-mortem JSON there.
+	FlightPath string
 }
 
 // WideCircuit is the benchmark the wide-BDD workload builds exact global
@@ -291,7 +302,13 @@ func Run(ctx context.Context, opts Options) (*Manifest, error) {
 		m.Methods = append(m.Methods, mm.String())
 	}
 	for run := 0; run < runs; run++ {
-		sc := obs.New(obs.Config{})
+		sc := obs.New(obs.Config{RunID: opts.RunID})
+		sc.SetBudgets(opts.Budgets)
+		sc.Flight().SetAutoDump(opts.FlightPath)
+		var sampler *obs.RuntimeSampler
+		if opts.SampleInterval > 0 {
+			sampler = sc.StartRuntimeSampler(ctx, opts.SampleInterval)
+		}
 		base := core.Options{Obs: sc, Workers: opts.Workers}
 		// Journal only the final repetition: the earlier ones supply the
 		// min-of-N timing, and journal writes would perturb them.
@@ -302,10 +319,18 @@ func Run(ctx context.Context, opts Options) (*Manifest, error) {
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		if _, err := eval.RunSuiteJournaled(ctx, methods, base, circuitNames, jc); err != nil {
+		_, err := eval.RunSuiteJournaled(ctx, methods, base, circuitNames, jc)
+		wall := time.Since(start).Nanoseconds()
+		sampler.Stop()
+		if err != nil {
 			return nil, fmt.Errorf("bench: run %d: %w", run+1, err)
 		}
-		wall := time.Since(start).Nanoseconds()
+		if n := sc.BreachCount(); n > 0 {
+			br := sc.Breaches()
+			worst := br[len(br)-1]
+			return nil, fmt.Errorf("bench: run %d: %d SLO budget breach(es), e.g. %s %s (%d > %d)",
+				run+1, n, worst.Phase, worst.Kind, worst.Value, worst.Limit)
+		}
 		runtime.ReadMemStats(&after)
 		alloc := after.TotalAlloc - before.TotalAlloc
 

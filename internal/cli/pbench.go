@@ -38,22 +38,31 @@ func Pbench(args []string, out, errOut io.Writer) error {
 		sampling  = fs.Bool("sampling", true, "also time the scalar vs bit-parallel activity engines and record the speedup as a metric")
 		jdir      = fs.String("journal-dir", "", "directory receiving the final run's decision journals, cross-checked against the fingerprint counters")
 		runID     = fs.String("run-id", "", "run identifier stamped into the manifest and journal headers (default: generated when -journal-dir is set)")
+		trend     = fs.String("trend", "", "append this run to the JSONL trend ledger at this path (e.g. BENCH_history.jsonl) and print the last-5-runs delta table")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
+	// pbench predates the shared telemetry bundle and defines its own
+	// -run-id, so it registers the obs flag set directly instead of
+	// addTelemetryFlags; the flags feed bench.Options, which applies them to
+	// each repetition's scope.
+	obsf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := bench.Options{
-		Runs:       *runs,
-		Workers:    *workers,
-		GitRev:     *gitRev,
-		Note:       *note,
-		Wide:       *wide,
-		Cuts:       *cuts,
-		Sampling:   *sampling,
-		JournalDir: *jdir,
-		RunID:      *runID,
-		Command:    "pbench " + strings.Join(args, " "),
+		Runs:           *runs,
+		Workers:        *workers,
+		GitRev:         *gitRev,
+		Note:           *note,
+		Wide:           *wide,
+		Cuts:           *cuts,
+		Sampling:       *sampling,
+		JournalDir:     *jdir,
+		RunID:          *runID,
+		Command:        "pbench " + strings.Join(args, " "),
+		SampleInterval: *obsf.sampleInterval,
+		Budgets:        obsf.budgets,
+		FlightPath:     *obsf.flight,
 	}
 	if *jdir != "" {
 		if err := os.MkdirAll(*jdir, 0o755); err != nil {
@@ -108,6 +117,17 @@ func Pbench(args []string, out, errOut io.Writer) error {
 		m.Runs, float64(m.WallNs)/1e6, float64(m.AllocBytes)/(1<<20), *outPath)
 	if *jdir != "" {
 		fmt.Fprintf(out, "decision journals written to %s (run %s, cross-checked against fingerprint counters)\n", *jdir, m.RunID)
+	}
+	if *trend != "" {
+		if err := bench.AppendHistoryFile(*trend, bench.HistoryFromManifest(m)); err != nil {
+			return err
+		}
+		entries, err := bench.ReadHistoryFile(*trend)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nbench trend (%s, last %d of %d):\n%s",
+			*trend, minInt(5, len(entries)), len(entries), bench.FormatTrend(entries, 5))
 	}
 
 	if baseline == nil {
@@ -178,6 +198,13 @@ func describeList(items, fallback []string) string {
 
 func maxInt(a, b int) int {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
 		return a
 	}
 	return b

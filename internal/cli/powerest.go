@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"powermap/internal/bdd"
 	"powermap/internal/huffman"
 	"powermap/internal/journal"
 	"powermap/internal/network"
@@ -144,6 +145,10 @@ func Powerest(args []string, out, errOut io.Writer) error {
 		Journal:  jr,
 	})
 	if err != nil {
+		// Estimation failures (typically an exact-BDD node-limit blowup)
+		// leave a flight record beside the journal, like core.Synthesize.
+		sc.Flight().CaptureFailure("powerest.annotate", err,
+			"circuit", nw.Name, "node_limit", bdd.IsNodeLimit(err))
 		return timeoutError(*timeout, err)
 	}
 	approximated := ares.Engine == prob.Sampling

@@ -55,9 +55,11 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 }
 
 // telemetry bundles the observability flags shared by every command
-// (-v, -stats/-stats-out, -trace, -serve, -max-spans, -run-id) and the
-// scope they configure. Register with addTelemetryFlags, build the scope
-// once with scope(), and call finish() after the run to route the exports.
+// (-v, -stats/-stats-out, -trace, -serve, -max-spans, -run-id, plus the
+// obsFlags set: -flight, -sample-interval, -budget, -log-level, -log-json)
+// and the scope they configure. Register with addTelemetryFlags, build the
+// scope once with scope(), and call finish() after the run to route the
+// exports, stop the runtime sampler, and unhook the SIGQUIT dumper.
 type telemetry struct {
 	verbose  *bool
 	stats    *bool
@@ -66,7 +68,11 @@ type telemetry struct {
 	serve    *string
 	maxSpans *int
 	runID    *string
+	obsf     *obsFlags
 	sc       *obs.Scope
+	logger   *slog.Logger
+	sampler  *obs.RuntimeSampler
+	stopSigq func()
 	built    bool
 }
 
@@ -77,9 +83,10 @@ func addTelemetryFlags(fs *flag.FlagSet) *telemetry {
 	t.stats = fs.Bool("stats", false, "export a JSON metrics/trace snapshot after the run")
 	t.statsOut = fs.String("stats-out", "", "snapshot destination: a file, \"-\" for stdout (default stderr)")
 	t.trace = fs.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (open in ui.perfetto.dev)")
-	t.serve = fs.String("serve", "", "after the run, serve /metrics, /snapshot, /trace and /debug/pprof on this address (e.g. :9090) until interrupted")
+	t.serve = fs.String("serve", "", "after the run, serve /metrics, /snapshot, /trace, /healthz, /readyz, /debug/flight and /debug/pprof on this address (e.g. :9090) until interrupted")
 	t.maxSpans = fs.Int("max-spans", 0, "completed-span ring buffer size (0 = default 16384, negative = unbounded)")
 	t.runID = fs.String("run-id", "", "run identifier stamped into snapshots, traces and decision journals (default: generated)")
+	t.obsf = addObsFlags(fs)
 	return t
 }
 
@@ -95,29 +102,49 @@ func (t *telemetry) resolveRunID() string {
 }
 
 // scope builds (once) the scope implied by the flags: nil when every
-// telemetry flag is off, so the pipeline keeps its zero-cost path.
+// telemetry flag is off, so the pipeline keeps its zero-cost path. A live
+// scope gets the full continuous-observability wiring: budgets installed,
+// flight auto-dump armed, the runtime sampler started, the SIGQUIT dumper
+// hooked, and the shared -log-level/-log-json logging chain (teed into the
+// flight recorder) installed as the span sink when -v is on.
 func (t *telemetry) scope(errOut io.Writer) *obs.Scope {
 	if t.built {
 		return t.sc
 	}
 	t.built = true
-	if !*t.verbose && !*t.stats && *t.trace == "" && *t.serve == "" {
+	if !*t.verbose && !*t.stats && *t.trace == "" && *t.serve == "" && !t.obsf.enabled() {
 		return nil
 	}
-	cfg := obs.Config{MaxSpans: *t.maxSpans, RunID: t.resolveRunID()}
+	runID := t.resolveRunID()
+	t.sc = obs.New(obs.Config{MaxSpans: *t.maxSpans, RunID: runID})
+	t.sampler = t.obsf.apply(t.sc)
+	t.logger = t.obsf.buildLogger(t.sc, errOut, runID)
 	if *t.verbose {
-		cfg.Logger = slog.New(slog.NewTextHandler(errOut, nil))
+		t.sc.SetSpanLogger(t.logger)
 	}
-	t.sc = obs.New(cfg)
+	if *t.obsf.flight != "" {
+		t.stopSigq = notifyFlightOnQuit(t.sc, *t.obsf.flight, errOut)
+	}
 	return t.sc
 }
 
 // finish routes the post-run exports: the -stats snapshot to -stats-out
 // (stderr by default, "-" for the primary output writer), the -trace file,
-// and finally the blocking -serve endpoint.
+// and finally the blocking -serve endpoint. The runtime sampler keeps
+// running while -serve is live (a scraping Prometheus should see fresh
+// samples) and is stopped otherwise; the SIGQUIT dumper is unhooked either
+// way once serving ends.
 func (t *telemetry) finish(out, errOut io.Writer) error {
 	if t.sc == nil {
 		return nil
+	}
+	if *t.serve == "" {
+		t.sampler.Stop()
+		t.sampler = nil
+		if t.stopSigq != nil {
+			t.stopSigq()
+			t.stopSigq = nil
+		}
 	}
 	sn := t.sc.Snapshot()
 	if *t.stats {
@@ -168,6 +195,6 @@ func serveTelemetry(addr string, sc *obs.Scope, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(errOut, "serving /metrics, /snapshot, /trace and /debug/pprof on http://%s (interrupt to stop)\n", ln.Addr())
+	fmt.Fprintf(errOut, "serving /metrics, /snapshot, /trace, /healthz, /readyz, /debug/flight and /debug/pprof on http://%s (interrupt to stop)\n", ln.Addr())
 	return http.Serve(ln, sc.Handler())
 }

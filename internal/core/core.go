@@ -149,6 +149,11 @@ type Options struct {
 	// stage (decomp, mapper, bdd, timing). Nil — the default — disables
 	// all instrumentation at near-zero cost.
 	Obs *obs.Scope
+	// Budgets declares per-phase SLOs (latency and/or live-BDD-node
+	// ceilings) installed on Obs before the run; breaches land in the
+	// scope's slo.breaches series and degrade its /healthz. Ignored when
+	// Obs is nil.
+	Budgets []obs.Budget
 	// Journal records the run's decision provenance (per-node
 	// decomposition events, per-site mapper decisions, per-gate power
 	// attribution) as JSONL, threaded through decomp and mapper the same
@@ -206,7 +211,13 @@ func Synthesize(nw *network.Network, o Options) (*Result, error) {
 // between pipeline phases and inside the long per-node loops of each
 // phase, so deadlines abort long runs promptly. The input is never
 // modified either way.
-func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Result, error) {
+//
+// On failure the scope's flight recorder captures a post-mortem record
+// (reason "core.synthesize", with the circuit name and whether the error is
+// a BDD node-limit) holding the failing phase's spans, recent logs and the
+// last runtime samples — auto-dumped to disk when -flight configured a
+// path.
+func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (_ *Result, err error) {
 	if o.Method != 0 {
 		o.Decomposition = o.Method.Decomposition()
 		o.Mapping = o.Method.Mapping()
@@ -216,6 +227,15 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 	}
 	res := &Result{}
 	sc := o.Obs
+	if len(o.Budgets) > 0 {
+		sc.SetBudgets(o.Budgets)
+	}
+	defer func() {
+		if err != nil {
+			sc.Flight().CaptureFailure("core.synthesize", err,
+				"circuit", nw.Name, "node_limit", bdd.IsNodeLimit(err))
+		}
+	}()
 	// Carry the scope on the context so context-only layers (the exec
 	// worker pool, nested phases) can instrument; spans started below pick
 	// up the context's track and labels, so a run launched from a labeled
@@ -259,6 +279,9 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 		ActivityVectors: o.ActivityVectors,
 	})
 	if err != nil {
+		// The typed failure lands on the span as an event, so the flight
+		// record's span tail names the phase and the error class.
+		span.Event("error", "error", err.Error(), "node_limit", bdd.IsNodeLimit(err))
 		span.End()
 		return nil, fmt.Errorf("core: decompose: %w", err)
 	}
@@ -286,6 +309,7 @@ func SynthesizeContext(ctx context.Context, nw *network.Network, o Options) (*Re
 		Workers:      o.Workers,
 	})
 	if err != nil {
+		span.Event("error", "error", err.Error(), "node_limit", bdd.IsNodeLimit(err))
 		span.End()
 		return nil, fmt.Errorf("core: map: %w", err)
 	}

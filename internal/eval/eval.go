@@ -120,7 +120,7 @@ func RunSuite(ctx context.Context, methods []core.Method, base core.Options, nam
 // jc.Dir is set, every synthesis run (reference and suite) writes its own
 // journal file there, sharing jc.RunID in the headers. cmd/pexplain
 // queries and diffs the resulting files.
-func RunSuiteJournaled(ctx context.Context, methods []core.Method, base core.Options, names []string, jc JournalConfig) ([]CircuitRow, error) {
+func RunSuiteJournaled(ctx context.Context, methods []core.Method, base core.Options, names []string, jc JournalConfig) (_ []CircuitRow, err error) {
 	suite := circuits.Suite()
 	if len(names) > 0 {
 		var filtered []circuits.Benchmark
@@ -184,6 +184,16 @@ func RunSuiteJournaled(ctx context.Context, methods []core.Method, base core.Opt
 	}
 	total := len(suite) * (1 + len(methods))
 	var done atomic.Int64
+	// A failing suite leaves a post-mortem beside its journals: the flight
+	// recorder snapshots the span/log/runtime-sample tails at the moment the
+	// suite gives up. The per-run core.synthesize capture fired first (and
+	// owns the auto-dump), so this record adds the suite-level context.
+	defer func() {
+		if err != nil {
+			base.Obs.Flight().CaptureFailure("eval.run_suite", err,
+				"runs_done", done.Load(), "runs_total", int64(total))
+		}
+	}()
 	interrupted := func(err error) error {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			return fmt.Errorf("eval: suite interrupted after %d of %d runs: %w", done.Load(), total, err)

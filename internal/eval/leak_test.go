@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"powermap/internal/core"
+	"powermap/internal/huffman"
+	"powermap/internal/obs"
+)
+
+// TestRunSuiteNoGoroutineLeak guards the exec pool and the runtime sampler
+// against leaking workers: after a suite run (with the full observability
+// stack live) the goroutine count must return to its pre-run level, within
+// a retry window that lets already-exiting goroutines unwind.
+func TestRunSuiteNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sc := obs.New(obs.Config{RunID: "leaktest"})
+	ctx, cancel := context.WithCancel(context.Background())
+	sampler := sc.StartRuntimeSampler(ctx, time.Millisecond)
+	opts := core.Options{Style: huffman.Static, Workers: 4, Obs: sc}
+	if _, err := RunSuite(ctx, []core.Method{core.MethodI, core.MethodIV}, opts, []string{"cm42a", "x2"}); err != nil {
+		t.Fatal(err)
+	}
+	sampler.Stop()
+	cancel()
+
+	// Workers park on channel receives and exit asynchronously after the
+	// suite returns; poll instead of asserting a single instant.
+	const slack = 2
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after suite run\n%s", before, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

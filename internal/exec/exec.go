@@ -112,6 +112,10 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 	if label != "" {
 		wctx = WithLabel(wctx, "")
 	}
+	// exec.inflight tracks concurrently-running pool workers across all
+	// labeled pools; the health layer's runtime sampler picks it up like any
+	// other gauge, so a hung pool is visible as a flat non-zero track.
+	inflight := sc.Gauge("exec.inflight")
 	record := func(i int, err error) {
 		mu.Lock()
 		errs[i] = err
@@ -120,6 +124,8 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 	}
 	worker := func(w int) {
 		defer wg.Done()
+		inflight.Add(1)
+		defer inflight.Add(-1)
 		ictx := wctx
 		var span *obs.Span
 		if sc.Enabled() && label != "" {

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseBudget(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Budget
+	}{
+		{"decompose=200ms", Budget{Phase: "decompose", MaxDur: 200 * time.Millisecond}},
+		{"synthesize=50000nodes", Budget{Phase: "synthesize", MaxLiveNodes: 50000}},
+		{"map=1s,20000nodes", Budget{Phase: "map", MaxDur: time.Second, MaxLiveNodes: 20000}},
+		{" map = 1s , 20000nodes ", Budget{Phase: "map", MaxDur: time.Second, MaxLiveNodes: 20000}},
+	}
+	for _, c := range cases {
+		got, err := ParseBudget(c.in)
+		if err != nil {
+			t.Errorf("ParseBudget(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBudget(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// String() renders back into parseable flag syntax.
+		back, err := ParseBudget(got.String())
+		if err != nil || back != got {
+			t.Errorf("Budget(%q).String() = %q does not round-trip: %+v, %v", c.in, got.String(), back, err)
+		}
+	}
+	for _, bad := range []string{"", "decompose", "=1s", "p=", "p=0s", "p=-1s", "p=xnodes", "p=0nodes", "p=junk"} {
+		if b, err := ParseBudget(bad); err == nil {
+			t.Errorf("ParseBudget(%q) accepted as %+v", bad, b)
+		}
+	}
+}
+
+// breachedScope returns a scope whose "decompose" latency budget has
+// provably breached (a 1ns ceiling against a real span).
+func breachedScope(t *testing.T) *Scope {
+	t.Helper()
+	sc := New(Config{})
+	sc.SetBudgets([]Budget{{Phase: "decompose", MaxDur: time.Nanosecond}})
+	span := sc.Start("decompose")
+	time.Sleep(time.Millisecond)
+	span.End()
+	if n := sc.BreachCount(); n == 0 {
+		t.Fatal("1ns budget did not breach")
+	}
+	return sc
+}
+
+func TestBudgetBreachLedgerAndCounter(t *testing.T) {
+	sc := breachedScope(t)
+	br := sc.Breaches()
+	if len(br) != 1 {
+		t.Fatalf("breach ledger has %d entries, want 1", len(br))
+	}
+	b := br[0]
+	if b.Phase != "decompose" || b.Kind != "latency" {
+		t.Errorf("breach = %+v, want decompose/latency", b)
+	}
+	if b.Value <= b.Limit {
+		t.Errorf("breach value %d not above limit %d", b.Value, b.Limit)
+	}
+	// Spans for unbudgeted phases never breach.
+	other := sc.Start("map")
+	other.End()
+	if n := sc.BreachCount(); n != 1 {
+		t.Errorf("unbudgeted span breached: count = %d", n)
+	}
+}
+
+func TestLiveNodesBreach(t *testing.T) {
+	sc := New(Config{})
+	sc.SetBudgets([]Budget{{Phase: "synthesize", MaxLiveNodes: 100}})
+	sc.Gauge(LiveNodesGauge).Set(250)
+	span := sc.Start("synthesize")
+	span.End()
+	br := sc.Breaches()
+	if len(br) != 1 || br[0].Kind != "live_nodes" {
+		t.Fatalf("breaches = %+v, want one live_nodes breach", br)
+	}
+	if br[0].Value != 250 || br[0].Limit != 100 {
+		t.Errorf("breach = %+v, want value 250 limit 100", br[0])
+	}
+}
+
+// TestHealthzDegradesOnBreach is the acceptance check for the SLO layer:
+// a budget breach flips /healthz from 200 to 503 while the breach shows up
+// in the powermap_slo_breaches metric series; /readyz stays 200 (the
+// process can still serve, the run just missed its SLO).
+func TestHealthzDegradesOnBreach(t *testing.T) {
+	sc := New(Config{})
+	h := sc.Handler()
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		return rr.Code, rr.Body.Bytes()
+	}
+
+	code, body := get("/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz before breach = %d:\n%s", code, body)
+	}
+	var hs HealthStatus
+	if err := json.Unmarshal(body, &hs); err != nil || !hs.Healthy {
+		t.Fatalf("/healthz body not a healthy HealthStatus: %v\n%s", err, body)
+	}
+
+	sc.SetBudgets([]Budget{{Phase: "decompose", MaxDur: time.Nanosecond}})
+	span := sc.Start("decompose")
+	time.Sleep(time.Millisecond)
+	span.End()
+
+	code, body = get("/healthz")
+	if code != 503 {
+		t.Fatalf("/healthz after breach = %d, want 503:\n%s", code, body)
+	}
+	if err := json.Unmarshal(body, &hs); err != nil {
+		t.Fatal(err)
+	}
+	if hs.Healthy || hs.Breaches != 1 || len(hs.Reasons) == 0 {
+		t.Errorf("degraded status not reported: %+v", hs)
+	}
+	if code, _ := get("/readyz"); code != 200 {
+		t.Errorf("/readyz after breach = %d, want 200 (breaches are a liveness concern)", code)
+	}
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(string(body), `powermap_slo_breaches{kind="latency",phase="decompose"} 1`) {
+		t.Errorf("breach not visible in /metrics (%d):\n%s", code, body)
+	}
+}
+
+func TestHealthSamplerStall(t *testing.T) {
+	sc := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := sc.StartRuntimeSampler(ctx, time.Millisecond)
+	if st := sc.Health(); !st.Ready || !st.SamplerStarted {
+		t.Fatalf("first sample is synchronous, so a fresh sampler must be ready: %+v", st)
+	}
+	s.Stop()
+	// With the sampler dead, the last sample ages past 3x the 1ms interval.
+	time.Sleep(50 * time.Millisecond)
+	st := sc.Health()
+	if !st.SamplerStalled || st.Healthy {
+		t.Errorf("dead sampler not reported as a stall: %+v", st)
+	}
+}
+
+func TestHealthSpanDropGrowth(t *testing.T) {
+	sc := New(Config{MaxSpans: 2})
+	sc.Health() // arm the probe watermark
+	for i := 0; i < 5; i++ {
+		sc.Start("s").End()
+	}
+	if st := sc.Health(); st.Healthy {
+		t.Errorf("span-drop growth between probes did not degrade health: %+v", st)
+	}
+	// Drops recorded, no further growth: the next probe heals.
+	if st := sc.Health(); !st.Healthy {
+		t.Errorf("health did not heal once drops stopped growing: %+v", st)
+	}
+}
+
+func TestHealthNilScope(t *testing.T) {
+	var sc *Scope
+	if st := sc.Health(); !st.Healthy || !st.Ready {
+		t.Errorf("nil scope must report healthy+ready: %+v", st)
+	}
+	sc.SetBudgets([]Budget{{Phase: "p", MaxDur: time.Second}}) // must not panic
+	if sc.Budgets() != nil || sc.Breaches() != nil || sc.BreachCount() != 0 {
+		t.Error("nil scope has SLO state")
+	}
+}
+
+// TestServeGzip checks the satellite fix: /trace and /snapshot honor
+// Accept-Encoding: gzip with the correct Content-Type, and the compressed
+// payload inflates to the same valid JSON an identity request returns.
+func TestServeGzip(t *testing.T) {
+	sc := New(Config{})
+	sc.Start("decompose").End()
+	sc.Counter("decomp.nodes_planned").Add(3)
+	h := sc.Handler()
+
+	for _, path := range []string{"/trace", "/snapshot", "/debug/flight"} {
+		req := httptest.NewRequest("GET", path, nil)
+		req.Header.Set("Accept-Encoding", "gzip, deflate")
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s Content-Type = %q, want application/json", path, ct)
+		}
+		if ce := rr.Header().Get("Content-Encoding"); ce != "gzip" {
+			t.Fatalf("%s Content-Encoding = %q, want gzip", path, ce)
+		}
+		zr, err := gzip.NewReader(rr.Body)
+		if err != nil {
+			t.Fatalf("%s body is not gzip: %v", path, err)
+		}
+		inflated, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("%s inflate: %v", path, err)
+		}
+		if !json.Valid(inflated) {
+			t.Errorf("%s inflated body is not JSON:\n%s", path, inflated)
+		}
+
+		// The identity request must stay uncompressed.
+		rr = httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if ce := rr.Header().Get("Content-Encoding"); ce != "" {
+			t.Errorf("%s without Accept-Encoding got Content-Encoding %q", path, ce)
+		}
+		if !json.Valid(rr.Body.Bytes()) {
+			t.Errorf("%s identity body is not JSON:\n%s", path, rr.Body.String())
+		}
+	}
+}
+
+// TestDebugFlightEndpoint checks both modes: ?last=1 serves only a retained
+// failure capture (404 before one exists), and the bare path captures
+// on-demand.
+func TestDebugFlightEndpoint(t *testing.T) {
+	sc := New(Config{RunID: "run-df"})
+	sc.Start("map").End()
+	h := sc.Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight?last=1", nil))
+	if rr.Code != 404 {
+		t.Fatalf("?last=1 with no failure = %d, want 404", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rr.Code != 200 {
+		t.Fatalf("on-demand capture = %d", rr.Code)
+	}
+	fr, err := ParseFlightRecord(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Reason != "on-demand" || fr.RunID != "run-df" || len(fr.Spans) != 1 {
+		t.Errorf("on-demand record wrong: reason=%q run=%q spans=%d", fr.Reason, fr.RunID, len(fr.Spans))
+	}
+
+	sc.Flight().CaptureFailure("core.synthesize", io.ErrUnexpectedEOF)
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight?last=1", nil))
+	if rr.Code != 200 {
+		t.Fatalf("?last=1 after failure = %d", rr.Code)
+	}
+	if fr, err = ParseFlightRecord(rr.Body); err != nil || fr.Reason != "core.synthesize" {
+		t.Errorf("retained capture wrong: %v, %+v", err, fr)
+	}
+}

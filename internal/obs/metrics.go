@@ -217,6 +217,20 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add atomically adds delta to the gauge (negative deltas decrement); it
+// is what up/down quantities like in-flight job counts use. No-op on nil.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
 // SetMax stores v only if it exceeds the current value; no-op on nil.
 func (g *Gauge) SetMax(v float64) {
 	if g == nil {

@@ -43,12 +43,16 @@ type Config struct {
 	RunID string
 }
 
-// Scope bundles a tracer and a metrics registry for one flow run. The zero
+// Scope bundles a tracer, a metrics registry, a flight recorder, a
+// runtime-sample ring and the health/SLO state for one flow run. The zero
 // value is not useful; use New. A nil *Scope disables all instrumentation.
 type Scope struct {
 	tracer  tracer
 	metrics Metrics
 	runID   string
+	rt      runtimeState
+	health  healthState
+	flight  *FlightRecorder
 }
 
 // New returns an enabled Scope.
@@ -56,6 +60,7 @@ func New(cfg Config) *Scope {
 	s := &Scope{runID: cfg.RunID}
 	s.tracer.logger = cfg.Logger
 	s.tracer.max = cfg.MaxSpans
+	s.flight = newFlightRecorder(s)
 	return s
 }
 

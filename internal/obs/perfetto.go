@@ -37,13 +37,20 @@ const tracePid = 1
 // Coordinator spans render on thread 0 ("flow"); worker-pool spans render
 // on one virtual thread per worker, named after the pool and worker index
 // (e.g. "mapper.curves/w2"). Span attributes and parents appear under each
-// slice's args; span events become thread-scoped instant markers.
-// Timestamps are rebased so the earliest span starts at 0.
+// slice's args; span events become thread-scoped instant markers. Runtime
+// samples (when a sampler ran) render as counter tracks — heap live/goal,
+// goroutines, RSS — alongside the span lanes. Timestamps are rebased so
+// the earliest span or sample starts at 0.
 func (sn *Snapshot) WriteTraceEvents(w io.Writer) error {
 	var base int64
 	for i, sp := range sn.Spans {
 		if i == 0 || sp.StartUnixNano < base {
 			base = sp.StartUnixNano
+		}
+	}
+	for i, rs := range sn.RuntimeSamples {
+		if (i == 0 && len(sn.Spans) == 0) || rs.UnixNano < base {
+			base = rs.UnixNano
 		}
 	}
 	events := make([]traceEvent, 0, 2+2*len(sn.Spans))
@@ -103,6 +110,21 @@ func (sn *Snapshot) WriteTraceEvents(w io.Writer) error {
 				S:    "t",
 				Args: ev.Attrs,
 			})
+		}
+	}
+	// Counter tracks from the runtime-sample ring: each named track renders
+	// as a value-over-time chart above the span lanes.
+	for _, rs := range sn.RuntimeSamples {
+		ts := us(rs.UnixNano - base)
+		events = append(events,
+			traceEvent{Name: "heap (bytes)", Cat: "runtime", Ph: "C", Ts: ts, Pid: tracePid,
+				Args: map[string]any{"live": rs.HeapLiveBytes, "goal": rs.HeapGoalBytes}},
+			traceEvent{Name: "goroutines", Cat: "runtime", Ph: "C", Ts: ts, Pid: tracePid,
+				Args: map[string]any{"count": rs.Goroutines}},
+		)
+		if rs.RSSBytes > 0 {
+			events = append(events, traceEvent{Name: "rss (bytes)", Cat: "runtime", Ph: "C",
+				Ts: ts, Pid: tracePid, Args: map[string]any{"rss": rs.RSSBytes}})
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerCapturesState(t *testing.T) {
+	sc := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := sc.StartRuntimeSampler(ctx, time.Millisecond)
+
+	// The first sample is synchronous, so even a zero-duration run has one.
+	samples := sc.RuntimeSamples()
+	if len(samples) == 0 {
+		t.Fatal("no synchronous first sample")
+	}
+	first := samples[0]
+	if first.UnixNano == 0 || first.HeapLiveBytes == 0 || first.Goroutines <= 0 {
+		t.Errorf("first sample looks empty: %+v", first)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+
+	if n := len(sc.RuntimeSamples()); n < 2 {
+		t.Errorf("sampler produced %d samples in 20ms at 1ms cadence, want more", n)
+	}
+
+	// The sampler feeds the metric registry: gauges for Prometheus...
+	var prom bytes.Buffer
+	if err := WritePrometheus(&prom, sc); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"powermap_runtime_heap_live_bytes",
+		"powermap_runtime_goroutines",
+		"powermap_runtime_samples",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus export missing %s:\n%s", want, prom.String())
+		}
+	}
+
+	// ...the snapshot carries the raw ring...
+	sn := sc.Snapshot()
+	if len(sn.RuntimeSamples) != len(sc.RuntimeSamples()) {
+		t.Errorf("snapshot carries %d samples, scope has %d", len(sn.RuntimeSamples), len(sc.RuntimeSamples()))
+	}
+
+	// ...and the Perfetto export renders counter tracks from it.
+	var trace bytes.Buffer
+	if err := sn.WriteTraceEvents(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &tf); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	counters := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ph, _ := ev["ph"].(string); ph == "C" {
+			name, _ := ev["name"].(string)
+			counters[name] = true
+			if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+				t.Errorf("counter event %q has bad ts %v", name, ev["ts"])
+			}
+		}
+	}
+	if !counters["heap (bytes)"] || !counters["goroutines"] {
+		t.Errorf("counter tracks missing from trace export: %v", counters)
+	}
+}
+
+func TestRuntimeSampleRingWraps(t *testing.T) {
+	sc := New(Config{})
+	for i := 0; i < defaultMaxRuntimeSamples+7; i++ {
+		sc.rt.add(RuntimeSample{UnixNano: int64(i)})
+	}
+	samples := sc.RuntimeSamples()
+	if len(samples) != defaultMaxRuntimeSamples {
+		t.Fatalf("ring holds %d samples, want %d", len(samples), defaultMaxRuntimeSamples)
+	}
+	if samples[0].UnixNano != 7 || samples[len(samples)-1].UnixNano != int64(defaultMaxRuntimeSamples+6) {
+		t.Errorf("ring not oldest-first after wrap: first=%d last=%d",
+			samples[0].UnixNano, samples[len(samples)-1].UnixNano)
+	}
+}
+
+func TestRuntimeSamplerNilScope(t *testing.T) {
+	var sc *Scope
+	s := sc.StartRuntimeSampler(context.Background(), time.Millisecond)
+	if s != nil {
+		t.Fatal("nil scope returned a live sampler")
+	}
+	s.Stop() // must not panic
+	if sc.RuntimeSamples() != nil {
+		t.Error("nil scope has samples")
+	}
+}
+
+// TestMetricsRaceUnderSampler hammers the label-interning fast path of
+// Counter.With (and the gauge/histogram registries) while the runtime
+// sampler concurrently publishes into the same scope, with snapshot
+// exports racing both. Run under -race (the Makefile check target does);
+// the assertions only pin the totals.
+func TestMetricsRaceUnderSampler(t *testing.T) {
+	sc := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sampler := sc.StartRuntimeSampler(ctx, time.Millisecond)
+	defer sampler.Stop()
+
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sc.Counter("race.hits").With("worker", fmt.Sprint(w%4)).Inc()
+				sc.Gauge("race.level").Set(float64(i))
+				sc.Histogram("race.dist").Observe(float64(i))
+				if i%50 == 0 {
+					sc.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total int64
+	for w := 0; w < 4; w++ {
+		total += sc.Counter("race.hits").With("worker", fmt.Sprint(w)).Value()
+	}
+	if want := int64(workers * iters); total != want {
+		t.Errorf("labeled counter lost increments: %d, want %d", total, want)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	sc := New(Config{})
+	g := sc.Gauge("exec.inflight")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Errorf("balanced Add calls left gauge at %v", v)
+	}
+	g.Add(2.5)
+	if v := g.Value(); v != 2.5 {
+		t.Errorf("Add(2.5) = %v", v)
+	}
+	var nilG *Gauge
+	nilG.Add(1) // must not panic
+}

@@ -1,20 +1,31 @@
 package obs
 
 import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
 // Handler returns an http.Handler exposing the scope's live telemetry:
 //
-//	/metrics    Prometheus text exposition (scraped snapshot)
-//	/snapshot   the full JSON snapshot (spans + metrics)
-//	/trace      Chrome/Perfetto trace-event JSON of the retained spans
+//	/metrics       Prometheus text exposition (scraped snapshot)
+//	/snapshot      the full JSON snapshot (spans + metrics + runtime samples)
+//	/trace         Chrome/Perfetto trace-event JSON of the retained spans
+//	/healthz       200 while healthy, 503 after a budget breach, sampler
+//	               stall, or span-ring drop growth (JSON HealthStatus body)
+//	/readyz        200 once the scope is serving and the sampler (if
+//	               started) has produced a sample; 503 otherwise
+//	/debug/flight  on-demand flight record (?last=1 returns the retained
+//	               failure capture instead; 404 when none exists)
 //	/debug/pprof/...  the standard Go profiling endpoints
 //
 // Every request snapshots the scope at that instant, so a scraping
-// Prometheus sees current values while the flow runs. Safe on a nil scope
-// (all exports are empty but well-formed).
+// Prometheus sees current values while the flow runs. /snapshot and /trace
+// honor Accept-Encoding: gzip (they are the large payloads). Safe on a nil
+// scope (exports are empty but well-formed; health reports healthy).
 func (s *Scope) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -23,11 +34,40 @@ func (s *Scope) Handler() http.Handler {
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		s.Snapshot().WriteJSON(w)
+		out, done := maybeGzip(w, r)
+		defer done()
+		s.Snapshot().WriteJSON(out)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		s.Snapshot().WriteTraceEvents(w)
+		out, done := maybeGzip(w, r)
+		defer done()
+		s.Snapshot().WriteTraceEvents(out)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		writeHealth(w, h, h.Healthy)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		writeHealth(w, h, h.Ready)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		fl := s.Flight()
+		var fr *FlightRecord
+		if r.URL.Query().Get("last") != "" {
+			if fr = fl.Last(); fr == nil {
+				http.Error(w, "no failure capture retained", http.StatusNotFound)
+				return
+			}
+		} else if fr = fl.Capture("on-demand", nil); fr == nil {
+			// Nil scope: serve an empty but schema-valid record.
+			fr = &FlightRecord{Schema: FlightSchemaVersion, Reason: "on-demand"}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		out, done := maybeGzip(w, r)
+		defer done()
+		fr.WriteJSON(out)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -35,4 +75,36 @@ func (s *Scope) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+func writeHealth(w http.ResponseWriter, h HealthStatus, ok bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
+}
+
+// maybeGzip wraps the response in a gzip writer when the client advertises
+// support. The returned cleanup must run before the handler returns (it
+// flushes the gzip trailer).
+func maybeGzip(w http.ResponseWriter, r *http.Request) (io.Writer, func()) {
+	if !acceptsGzip(r) {
+		return w, func() {}
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	gz := gzip.NewWriter(w)
+	return gz, func() { gz.Close() }
+}
+
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc = strings.TrimSpace(enc)
+		if enc == "gzip" || strings.HasPrefix(enc, "gzip;") {
+			return true
+		}
+	}
+	return false
 }

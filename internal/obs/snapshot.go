@@ -28,6 +28,12 @@ type Snapshot struct {
 	Counters   map[string]int64          `json:"counters,omitempty"`
 	Gauges     map[string]float64        `json:"gauges,omitempty"`
 	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+	// RuntimeSamples is the retained runtime-resource sample ring (present
+	// only when a RuntimeSampler ran on the scope).
+	RuntimeSamples []RuntimeSample `json:"runtime_samples,omitempty"`
+	// Breaches is the SLO breach ledger (present only when a phase budget
+	// was violated).
+	Breaches []Breach `json:"breaches,omitempty"`
 }
 
 // Snapshot captures the scope's current state. On a nil scope it returns
@@ -45,6 +51,8 @@ func (s *Scope) Snapshot() *Snapshot {
 	sn.Spans = s.Spans()
 	sn.SpansDropped = s.SpansDropped()
 	sn.Tracks = s.TrackNames()
+	sn.RuntimeSamples = s.RuntimeSamples()
+	sn.Breaches = s.Breaches()
 	m := &s.metrics
 	m.mu.Lock()
 	counters := make(map[string]*Counter, len(m.counters))

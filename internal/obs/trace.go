@@ -60,6 +60,19 @@ type tracer struct {
 	nextTrack int64
 }
 
+// SetSpanLogger replaces the logger that receives one record per completed
+// span (Config.Logger). The CLI layer uses it to install the shared
+// -log-level/-log-json handler chain (which tees into the flight recorder)
+// after the scope — and with it the recorder — exists. Safe on nil.
+func (s *Scope) SetSpanLogger(l *slog.Logger) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.tracer.logger = l
+	s.tracer.mu.Unlock()
+}
+
 // Span is one in-flight phase. End it exactly once. A Span is owned by the
 // goroutine that started it; SetAttr/Event are not safe for concurrent use
 // on the same span. A nil *Span (from a nil scope) is a no-op.
@@ -177,7 +190,7 @@ func (sp *Span) End() time.Duration {
 			}
 		}
 	}
-	t.record(SpanRecord{
+	rec := SpanRecord{
 		Name:          sp.name,
 		Parent:        sp.parent,
 		Track:         sp.track,
@@ -185,9 +198,11 @@ func (sp *Span) End() time.Duration {
 		DurationNs:    int64(d),
 		Attrs:         sp.attrs,
 		Events:        sp.events,
-	})
+	}
+	t.record(rec)
 	logger := t.logger
 	t.mu.Unlock()
+	sp.scope.afterSpan(rec)
 	if logger != nil {
 		if sp.parent != "" {
 			logger.Info("phase", "name", sp.name, "parent", sp.parent, "dur", d)
