@@ -97,6 +97,31 @@ type Config struct {
 	// sifts; after each reorder the trigger doubles from the surviving
 	// live count. 0 selects DefaultReorderThreshold.
 	ReorderThreshold int
+	// Pool, when non-nil, makes NewWith draw a Reset manager from the
+	// shared warm pool instead of allocating fresh storage. Every layer
+	// that threads a Config (prob, decomp, verify) then reuses pooled
+	// node stores transparently; managers return to the pool via Recycle
+	// (prob.Model.Release and friends). A fresh manager is still
+	// allocated when the pool is empty.
+	Pool *Pool
+}
+
+// withDefaults resolves the zero-value Config fields to the package
+// defaults, exactly as NewWith and Reset apply them.
+func (cfg Config) withDefaults() Config {
+	if cfg.NodeLimit == 0 {
+		cfg.NodeLimit = DefaultNodeLimit
+	}
+	if cfg.CacheLimit == 0 {
+		cfg.CacheLimit = DefaultCacheLimit
+	}
+	if cfg.GCThreshold == 0 {
+		cfg.GCThreshold = DefaultGCThreshold
+	}
+	if cfg.ReorderThreshold == 0 {
+		cfg.ReorderThreshold = DefaultReorderThreshold
+	}
+	return cfg
 }
 
 // Stats counts the work a Manager has performed since creation. The
@@ -156,6 +181,11 @@ type Manager struct {
 	reorderThreshold int
 	reorderAt        int
 
+	// pool is the warm pool this manager was drawn from (nil when it was
+	// allocated directly); pooled flags a manager currently parked in it.
+	pool   *Pool
+	pooled bool
+
 	stats Stats
 }
 
@@ -163,20 +193,14 @@ type Manager struct {
 // configuration.
 func New(numVars int) *Manager { return NewWith(numVars, Config{}) }
 
-// NewWith returns a manager over numVars variables tuned by cfg.
+// NewWith returns a manager over numVars variables tuned by cfg. With
+// cfg.Pool set the manager is drawn from the pool (Reset for numVars and
+// cfg) rather than allocated, so repeated computations reuse node storage.
 func NewWith(numVars int, cfg Config) *Manager {
-	if cfg.NodeLimit == 0 {
-		cfg.NodeLimit = DefaultNodeLimit
+	if cfg.Pool != nil {
+		return cfg.Pool.Get(numVars, cfg)
 	}
-	if cfg.CacheLimit == 0 {
-		cfg.CacheLimit = DefaultCacheLimit
-	}
-	if cfg.GCThreshold == 0 {
-		cfg.GCThreshold = DefaultGCThreshold
-	}
-	if cfg.ReorderThreshold == 0 {
-		cfg.ReorderThreshold = DefaultReorderThreshold
-	}
+	cfg = cfg.withDefaults()
 	m := &Manager{
 		computed:         make(map[cacheKey]Ref),
 		roots:            make(map[Ref]int),

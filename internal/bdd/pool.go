@@ -1,0 +1,210 @@
+package bdd
+
+import "sync"
+
+// DefaultPoolSize is the free-list capacity a Pool uses when NewPool is
+// given a non-positive size.
+const DefaultPoolSize = 8
+
+// Pool is a bounded warm pool of managers for request-per-computation
+// workloads (the pserve daemon): instead of allocating a node store, unique
+// tables and a computed table per request, a manager is drawn with Get,
+// Reset to the request's variable count and kernel limits, and handed back
+// with Put (usually via Manager.Recycle or prob.Model.Release) once the
+// request's results have been serialized. Reset reuses the backing storage
+// of every internal structure, so a warm manager costs no allocation churn
+// beyond what the new computation itself grows.
+//
+// The pool is safe for concurrent Get/Put; the managers it hands out keep
+// the usual single-goroutine contract. The free list is bounded: Put on a
+// full pool discards the manager to the garbage collector instead of
+// growing without limit.
+type Pool struct {
+	mu    sync.Mutex
+	free  []*Manager
+	max   int
+	stats PoolStats
+}
+
+// PoolStats counts the pool's traffic since creation.
+type PoolStats struct {
+	// Reuses counts Gets answered from the free list; Allocs counts Gets
+	// that had to allocate a fresh manager.
+	Reuses int64
+	Allocs int64
+	// Puts counts managers parked back in the free list; Discards counts
+	// Puts dropped because the pool was full (or the manager was already
+	// parked).
+	Puts     int64
+	Discards int64
+}
+
+// NewPool returns a pool retaining at most max idle managers
+// (DefaultPoolSize when max <= 0).
+func NewPool(max int) *Pool {
+	if max <= 0 {
+		max = DefaultPoolSize
+	}
+	return &Pool{max: max}
+}
+
+// Cap returns the pool's free-list capacity.
+func (p *Pool) Cap() int { return p.max }
+
+// Idle returns the number of managers currently parked in the pool.
+func (p *Pool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Stats returns the traffic counters accumulated since creation.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Get returns a manager over numVars variables configured by cfg: a Reset
+// pooled manager when one is idle, a fresh one otherwise. The cfg.Pool
+// field is ignored (the receiver is the pool). The manager remembers its
+// origin, so Recycle returns it here.
+func (p *Pool) Get(numVars int, cfg Config) *Manager {
+	cfg.Pool = nil
+	p.mu.Lock()
+	var m *Manager
+	if n := len(p.free); n > 0 {
+		m = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		m.pooled = false
+		p.stats.Reuses++
+	} else {
+		p.stats.Allocs++
+	}
+	p.mu.Unlock()
+	if m == nil {
+		m = NewWith(numVars, cfg)
+		m.pool = p
+		return m
+	}
+	m.Reset(numVars, cfg)
+	return m
+}
+
+// Put parks m for reuse. A full pool (or a double Put) discards the
+// manager instead; either way the caller must not touch m afterwards.
+// Put(nil) is a no-op.
+func (p *Pool) Put(m *Manager) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m.pooled || len(p.free) >= p.max {
+		p.stats.Discards++
+		return
+	}
+	m.pool = p
+	m.pooled = true
+	p.free = append(p.free, m)
+	p.stats.Puts++
+}
+
+// Warm pre-populates the pool with up to n idle managers sized for
+// numVars variables under cfg, so the first requests of a freshly booted
+// daemon already reuse storage. Managers beyond the pool capacity are not
+// created.
+func (p *Pool) Warm(n, numVars int, cfg Config) {
+	cfg.Pool = nil
+	for i := 0; i < n; i++ {
+		p.mu.Lock()
+		full := len(p.free) >= p.max
+		p.mu.Unlock()
+		if full {
+			return
+		}
+		m := NewWith(numVars, cfg)
+		p.Put(m)
+	}
+}
+
+// Recycle hands the manager back to the pool it was drawn from; on a
+// manager allocated outside any pool (or nil) it is a no-op. The caller
+// must be completely done with the manager and every Ref it produced:
+// the next Get will Reset it, invalidating all state.
+func (m *Manager) Recycle() {
+	if m == nil || m.pool == nil {
+		return
+	}
+	m.pool.Put(m)
+}
+
+// Reset returns the manager to its freshly constructed state over numVars
+// variables under cfg, reusing the already-allocated node store, free
+// list, unique tables, computed table and order arrays — the warm-pool
+// fast path (no reallocation). Every outstanding Ref and Root is
+// invalidated; statistics restart from zero. Behavior after Reset is
+// indistinguishable from NewWith(numVars, cfg).
+func (m *Manager) Reset(numVars int, cfg Config) {
+	cfg = cfg.withDefaults()
+	m.numVars = numVars
+	m.termVar = int32(numVars)
+	m.live = 0
+	m.limit = cfg.NodeLimit
+	m.cacheLimit = cfg.CacheLimit
+	m.gcThreshold = cfg.GCThreshold
+	m.gcAt = cfg.GCThreshold
+	m.autoReorder = cfg.Reorder
+	m.reorderThreshold = cfg.ReorderThreshold
+	m.reorderAt = cfg.ReorderThreshold
+	m.stats = Stats{}
+
+	m.nodes = append(m.nodes[:0],
+		node{varID: m.termVar}, // False
+		node{varID: m.termVar}, // True
+	)
+	m.free = m.free[:0]
+	if m.computed == nil {
+		m.computed = make(map[cacheKey]Ref)
+	} else {
+		clear(m.computed)
+	}
+	if m.roots == nil {
+		m.roots = make(map[Ref]int)
+	} else {
+		clear(m.roots)
+	}
+
+	if numVars <= cap(m.unique) {
+		m.unique = m.unique[:numVars]
+	} else {
+		grown := make([]map[pair]Ref, numVars)
+		copy(grown, m.unique)
+		m.unique = grown
+	}
+	for v := range m.unique {
+		if m.unique[v] == nil {
+			m.unique[v] = make(map[pair]Ref)
+		} else {
+			clear(m.unique[v])
+		}
+	}
+
+	if numVars+1 <= cap(m.var2level) {
+		m.var2level = m.var2level[:numVars+1]
+	} else {
+		m.var2level = make([]int32, numVars+1)
+	}
+	if numVars <= cap(m.level2var) {
+		m.level2var = m.level2var[:numVars]
+	} else {
+		m.level2var = make([]int32, numVars)
+	}
+	for v := 0; v <= numVars; v++ {
+		m.var2level[v] = int32(v)
+	}
+	for l := 0; l < numVars; l++ {
+		m.level2var[l] = int32(l)
+	}
+}

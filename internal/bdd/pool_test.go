@@ -1,0 +1,139 @@
+package bdd
+
+import "testing"
+
+// buildParity builds the n-variable parity function and returns its
+// satisfying-assignment count (2^(n-1)) alongside manager stats, as a
+// fingerprint of the computation.
+func buildParity(t *testing.T, m *Manager, n int) float64 {
+	t.Helper()
+	f := False
+	for v := 0; v < n; v++ {
+		x, err := m.Var(v)
+		if err != nil {
+			t.Fatalf("Var(%d): %v", v, err)
+		}
+		f, err = m.Xor(f, x)
+		if err != nil {
+			t.Fatalf("Xor: %v", err)
+		}
+	}
+	return m.SatCount(f)
+}
+
+// TestResetMatchesFresh proves a Reset manager is indistinguishable from a
+// freshly constructed one: same results, same statistics, empty state.
+func TestResetMatchesFresh(t *testing.T) {
+	cfg := Config{NodeLimit: 1 << 12, GCThreshold: 64}
+	fresh := NewWith(8, cfg)
+	want := buildParity(t, fresh, 8)
+	wantStats := fresh.Stats()
+
+	m := NewWith(12, Config{})
+	buildParity(t, m, 12)
+	m.Protect(True)
+	m.Reset(8, cfg)
+
+	if m.NumVars() != 8 {
+		t.Fatalf("NumVars after Reset = %d, want 8", m.NumVars())
+	}
+	if m.NumNodes() != 2 {
+		t.Fatalf("NumNodes after Reset = %d, want 2 (terminals only)", m.NumNodes())
+	}
+	if m.NumRoots() != 0 {
+		t.Fatalf("NumRoots after Reset = %d, want 0", m.NumRoots())
+	}
+	if got := buildParity(t, m, 8); got != want {
+		t.Fatalf("parity SatCount after Reset = %v, want %v", got, want)
+	}
+	if got := m.Stats(); got != wantStats {
+		t.Fatalf("stats after Reset diverge from fresh manager:\n got %+v\nwant %+v", got, wantStats)
+	}
+	// The reused manager enforces the new config's node limit.
+	m.Reset(4, Config{NodeLimit: 1})
+	if _, err := m.Var(0); err != nil {
+		t.Fatalf("Var(0) under NodeLimit 1: %v", err)
+	}
+	if _, err := m.Var(1); err == nil || !IsNodeLimit(err) {
+		t.Fatalf("Var(1) under NodeLimit 1 after Reset: err = %v, want node-limit", err)
+	}
+}
+
+// TestResetGrowsAndShrinks exercises variable-count changes across Resets,
+// including regrowing past a shrunken width (stale per-variable unique
+// tables must come back empty).
+func TestResetGrowsAndShrinks(t *testing.T) {
+	m := NewWith(16, Config{})
+	buildParity(t, m, 16)
+	for _, n := range []int{4, 10, 16, 20, 3} {
+		m.Reset(n, Config{})
+		fresh := NewWith(n, Config{})
+		want := buildParity(t, fresh, n)
+		if got := buildParity(t, m, n); got != want {
+			t.Fatalf("Reset(%d): SatCount = %v, want %v", n, got, want)
+		}
+		if gs, ws := m.Stats(), fresh.Stats(); gs != ws {
+			t.Fatalf("Reset(%d): stats %+v, want %+v", n, gs, ws)
+		}
+	}
+}
+
+func TestPoolReuseAndBounds(t *testing.T) {
+	p := NewPool(1)
+	m1 := p.Get(6, Config{})
+	buildParity(t, m1, 6)
+	m2 := p.Get(6, Config{})
+	if m1 == m2 {
+		t.Fatal("pool handed out the same manager twice while both leased")
+	}
+	m1.Recycle()
+	if p.Idle() != 1 {
+		t.Fatalf("Idle after one Recycle = %d, want 1", p.Idle())
+	}
+	m2.Recycle() // pool full: discarded
+	if p.Idle() != 1 {
+		t.Fatalf("Idle after over-capacity Recycle = %d, want 1", p.Idle())
+	}
+	m3 := p.Get(9, Config{NodeLimit: 1 << 10})
+	if m3 != m1 {
+		t.Fatal("Get did not reuse the recycled manager")
+	}
+	if m3.NumVars() != 9 || m3.NumNodes() != 2 {
+		t.Fatalf("reused manager not Reset: vars=%d nodes=%d", m3.NumVars(), m3.NumNodes())
+	}
+	// Double-Recycle must not park the manager twice.
+	m3.Recycle()
+	m3.Recycle()
+	if p.Idle() != 1 {
+		t.Fatalf("Idle after double Recycle = %d, want 1", p.Idle())
+	}
+	st := p.Stats()
+	if st.Reuses != 1 || st.Allocs != 2 || st.Puts != 2 || st.Discards != 2 {
+		t.Fatalf("stats = %+v, want Reuses 1, Allocs 2, Puts 2, Discards 2", st)
+	}
+}
+
+// TestConfigPoolDrawsFromPool proves the Config.Pool seam: NewWith with a
+// pooled config reuses recycled storage, which is how prob/decomp/verify
+// pick up the daemon's warm pool without call-site changes.
+func TestConfigPoolDrawsFromPool(t *testing.T) {
+	p := NewPool(2)
+	p.Warm(2, 8, Config{})
+	if p.Idle() != 2 {
+		t.Fatalf("Idle after Warm = %d, want 2", p.Idle())
+	}
+	m := NewWith(8, Config{Pool: p, NodeLimit: 1 << 12})
+	if p.Idle() != 1 {
+		t.Fatalf("Idle after pooled NewWith = %d, want 1", p.Idle())
+	}
+	buildParity(t, m, 8)
+	m.Recycle()
+	if p.Idle() != 2 {
+		t.Fatalf("Idle after Recycle = %d, want 2", p.Idle())
+	}
+	if st := p.Stats(); st.Reuses != 1 {
+		t.Fatalf("Reuses = %d, want 1", st.Reuses)
+	}
+	// A nil-pool manager's Recycle is a no-op.
+	NewWith(4, Config{}).Recycle()
+}

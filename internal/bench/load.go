@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"powermap/internal/circuits"
+	"powermap/internal/exec"
+	"powermap/internal/serve"
+)
+
+// ServeSchemaVersion versions BENCH_serve.json; readers refuse manifests
+// from an incompatible writer rather than misinterpret them.
+const ServeSchemaVersion = 1
+
+// LoadOptions configures RunLoad, the pserve load generator behind
+// `pbench -load`.
+type LoadOptions struct {
+	// URL is the daemon base URL (e.g. http://localhost:8080).
+	URL string
+	// Concurrency is the number of in-flight requests the generator holds
+	// open (default 8 — the acceptance floor).
+	Concurrency int
+	// Passes replays the circuit list this many times (default 2, so the
+	// second pass measures the cache).
+	Passes int
+	// Circuits is the benchmark subset (default: the full bundled suite).
+	Circuits []string
+	// Method is the paper method every request asks for (default VI).
+	Method string
+	// Timeout bounds one HTTP request (default 5m: a cold full-suite pass
+	// at high concurrency queues the big circuits behind the small ones).
+	Timeout time.Duration
+}
+
+// PassStats is one replay pass of the circuit list.
+type PassStats struct {
+	Pass      int     `json:"pass"`
+	Requests  int     `json:"requests"`
+	CacheHits int     `json:"cache_hits"`
+	WallNs    int64   `json:"wall_ns"`
+	LatP50Ms  float64 `json:"lat_p50_ms"`
+	LatP99Ms  float64 `json:"lat_p99_ms"`
+}
+
+// ServeManifest is the BENCH_serve.json payload: one load run against a
+// live pserve, aggregated and per pass.
+type ServeManifest struct {
+	Schema      int      `json:"schema"`
+	URL         string   `json:"url"`
+	Concurrency int      `json:"concurrency"`
+	Passes      int      `json:"passes"`
+	Method      string   `json:"method"`
+	Circuits    []string `json:"circuits"`
+
+	Requests int `json:"requests"`
+	// Failures counts transport-level errors (no HTTP status at all).
+	Failures int `json:"failures"`
+	// StatusCounts tallies responses by HTTP status code.
+	StatusCounts map[string]int `json:"status_counts"`
+	// Server5xx is the count of 5xx responses — the acceptance criterion
+	// demands zero.
+	Server5xx int `json:"server_5xx"`
+	// CacheHits counts responses served from the daemon's result cache.
+	CacheHits int `json:"cache_hits"`
+	// Retries429 counts backpressure rounds: requests the daemon refused
+	// with 429 that the generator retried (StatusCounts records only each
+	// request's final status).
+	Retries429 int `json:"retries_429"`
+
+	WallNs int64 `json:"wall_ns"`
+	// Throughput is completed requests per second over the whole run.
+	Throughput float64 `json:"throughput_rps"`
+	LatMeanMs  float64 `json:"lat_mean_ms"`
+	LatP50Ms   float64 `json:"lat_p50_ms"`
+	LatP99Ms   float64 `json:"lat_p99_ms"`
+	LatMaxMs   float64 `json:"lat_max_ms"`
+
+	PassStats []PassStats `json:"pass_stats"`
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Passes <= 0 {
+		o.Passes = 2
+	}
+	if len(o.Circuits) == 0 {
+		for _, b := range circuits.Suite() {
+			o.Circuits = append(o.Circuits, b.Name)
+		}
+	}
+	if o.Method == "" {
+		o.Method = "VI"
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Minute
+	}
+	return o
+}
+
+// loadResult is one request's outcome.
+type loadResult struct {
+	status  int // 0 = transport failure
+	cached  bool
+	lat     time.Duration
+	retries int // 429 backpressure rounds before the final status
+}
+
+// RunLoad replays the configured circuits against a live pserve, Passes
+// times at Concurrency in-flight requests, and aggregates latency and
+// status statistics. Request failures are data, not errors: the only
+// error returns are a malformed URL and context cancellation.
+func RunLoad(ctx context.Context, opts LoadOptions) (*ServeManifest, error) {
+	opts = opts.withDefaults()
+	base := strings.TrimSuffix(opts.URL, "/")
+	if !strings.Contains(base, "://") {
+		return nil, fmt.Errorf("bench: load URL %q has no scheme (want e.g. http://localhost:8080)", opts.URL)
+	}
+	bodies := make([][]byte, len(opts.Circuits))
+	for i, name := range opts.Circuits {
+		body, err := json.Marshal(serve.Request{
+			Circuit: name,
+			Options: serve.Options{Method: opts.Method},
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = body
+	}
+	client := &http.Client{Timeout: opts.Timeout}
+	m := &ServeManifest{
+		Schema:       ServeSchemaVersion,
+		URL:          base,
+		Concurrency:  opts.Concurrency,
+		Passes:       opts.Passes,
+		Method:       opts.Method,
+		Circuits:     opts.Circuits,
+		StatusCounts: make(map[string]int),
+	}
+	var allLats []time.Duration
+	start := time.Now()
+	for pass := 1; pass <= opts.Passes; pass++ {
+		results := make([]loadResult, len(bodies))
+		passStart := time.Now()
+		err := exec.ForEach(ctx, opts.Concurrency, len(bodies), func(ctx context.Context, i int) error {
+			results[i] = post(ctx, client, base+"/synth", bodies[i])
+			return ctx.Err()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: load pass %d: %w", pass, err)
+		}
+		ps := PassStats{Pass: pass, Requests: len(results), WallNs: int64(time.Since(passStart))}
+		var passLats []time.Duration
+		for _, r := range results {
+			m.Requests++
+			m.Retries429 += r.retries
+			if r.status == 0 {
+				m.Failures++
+				continue
+			}
+			m.StatusCounts[fmt.Sprint(r.status)]++
+			if r.status >= 500 {
+				m.Server5xx++
+			}
+			if r.cached {
+				ps.CacheHits++
+				m.CacheHits++
+			}
+			passLats = append(passLats, r.lat)
+			allLats = append(allLats, r.lat)
+		}
+		ps.LatP50Ms = quantileMs(passLats, 0.50)
+		ps.LatP99Ms = quantileMs(passLats, 0.99)
+		m.PassStats = append(m.PassStats, ps)
+	}
+	m.WallNs = int64(time.Since(start))
+	if m.WallNs > 0 {
+		m.Throughput = float64(m.Requests) / (float64(m.WallNs) / 1e9)
+	}
+	if len(allLats) > 0 {
+		var sum time.Duration
+		max := allLats[0]
+		for _, l := range allLats {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		m.LatMeanMs = float64(sum) / float64(len(allLats)) / 1e6
+		m.LatMaxMs = float64(max) / 1e6
+	}
+	m.LatP50Ms = quantileMs(allLats, 0.50)
+	m.LatP99Ms = quantileMs(allLats, 0.99)
+	return m, nil
+}
+
+// maxRetries429 bounds the backpressure retry loop: with the capped 1 s
+// backoff this gives the daemon well over a minute to free a slot before
+// the generator records the 429 as the final status.
+const maxRetries429 = 100
+
+// post runs one synthesis request. A 429 is admission backpressure, not
+// an answer: the generator retries with a linearly growing (1 s-capped)
+// backoff so the suite completes even when the daemon's waiting room is
+// far smaller than the generator's concurrency, and the recorded latency
+// is the client-observed one including the waiting. A transport failure
+// returns status 0.
+func post(ctx context.Context, client *http.Client, url string, body []byte) loadResult {
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		res := postOnce(ctx, client, url, body)
+		res.retries = attempt
+		res.lat = time.Since(start)
+		if res.status != http.StatusTooManyRequests || attempt >= maxRetries429 {
+			return res
+		}
+		backoff := time.Duration(attempt+1) * 50 * time.Millisecond
+		if backoff > time.Second {
+			backoff = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return res
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// postOnce is a single request round; lat and retries are filled by post.
+func postOnce(ctx context.Context, client *http.Client, url string, body []byte) loadResult {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return loadResult{}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return loadResult{}
+	}
+	defer resp.Body.Close()
+	var out serve.Response
+	cached := false
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out) == nil {
+		cached = out.Cached
+	}
+	io.Copy(io.Discard, resp.Body) // drain so the connection is reused
+	return loadResult{status: resp.StatusCode, cached: cached}
+}
+
+// quantileMs is the nearest-rank q-quantile of lats, in milliseconds.
+func quantileMs(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return float64(sorted[rank]) / 1e6
+}
+
+// WriteServeManifestFile writes m to path as indented JSON.
+func WriteServeManifestFile(path string, m *ServeManifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadServeManifestFile reads a BENCH_serve.json, refusing incompatible
+// schema versions.
+func ReadServeManifestFile(path string) (*ServeManifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m ServeManifest
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("bench: parse serve manifest: %w", err)
+	}
+	if m.Schema != ServeSchemaVersion {
+		return nil, fmt.Errorf("bench: serve manifest schema v%d not supported (want v%d); regenerate it", m.Schema, ServeSchemaVersion)
+	}
+	return &m, nil
+}

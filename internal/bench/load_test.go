@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"powermap/internal/serve"
+)
+
+// fakeDaemon mimics the pserve /synth contract: every distinct body
+// synthesizes once, repeats are "cached", and an optional failure budget
+// serves 500s first.
+func fakeDaemon(fail5xx *atomic.Int64) http.Handler {
+	seen := make(map[string]bool)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /synth", func(w http.ResponseWriter, r *http.Request) {
+		if fail5xx != nil && fail5xx.Add(-1) >= 0 {
+			w.WriteHeader(500)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "boom"})
+			return
+		}
+		var req serve.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(400)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: err.Error()})
+			return
+		}
+		// The map is raced by concurrent requests only across passes in
+		// this test's configs; serialize anyway to stay race-clean.
+		resp := serve.Response{Circuit: req.Circuit, Cached: seen[req.Circuit]}
+		seen[req.Circuit] = true
+		resp.Report.PowerUW = 42
+		json.NewEncoder(w).Encode(&resp)
+	})
+	return mux
+}
+
+func TestRunLoadAggregates(t *testing.T) {
+	mu := make(chan struct{}, 1)
+	inner := fakeDaemon(nil)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu <- struct{}{} // serialize the fake's map access under -race
+		defer func() { <-mu }()
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	m, err := RunLoad(context.Background(), LoadOptions{
+		URL:         srv.URL,
+		Concurrency: 4,
+		Passes:      2,
+		Circuits:    []string{"a", "b", "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != ServeSchemaVersion {
+		t.Errorf("schema = %d, want %d", m.Schema, ServeSchemaVersion)
+	}
+	if m.Requests != 6 || m.Failures != 0 || m.Server5xx != 0 {
+		t.Errorf("requests/failures/5xx = %d/%d/%d, want 6/0/0", m.Requests, m.Failures, m.Server5xx)
+	}
+	if m.StatusCounts["200"] != 6 {
+		t.Errorf("status counts = %v, want 6x 200", m.StatusCounts)
+	}
+	// Pass 1 is all cold, pass 2 all cached.
+	if m.CacheHits != 3 || len(m.PassStats) != 2 || m.PassStats[0].CacheHits != 0 || m.PassStats[1].CacheHits != 3 {
+		t.Errorf("cache accounting wrong: total %d, passes %+v", m.CacheHits, m.PassStats)
+	}
+	if m.LatP99Ms <= 0 || m.LatP50Ms <= 0 || m.LatP99Ms < m.LatP50Ms {
+		t.Errorf("latency quantiles implausible: p50 %v p99 %v", m.LatP50Ms, m.LatP99Ms)
+	}
+	if m.Throughput <= 0 {
+		t.Errorf("throughput = %v, want > 0", m.Throughput)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := WriteServeManifestFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadServeManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != m.Requests || back.LatP99Ms != m.LatP99Ms {
+		t.Error("manifest did not round-trip")
+	}
+	// A future schema is refused, not misread.
+	back.Schema = ServeSchemaVersion + 1
+	if err := WriteServeManifestFile(path, back); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadServeManifestFile(path); err == nil {
+		t.Error("incompatible schema version accepted")
+	}
+}
+
+func TestRunLoadCounts5xx(t *testing.T) {
+	var budget atomic.Int64
+	budget.Store(2)
+	mu := make(chan struct{}, 1)
+	inner := fakeDaemon(&budget)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu <- struct{}{}
+		defer func() { <-mu }()
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	m, err := RunLoad(context.Background(), LoadOptions{
+		URL: srv.URL, Concurrency: 2, Passes: 1, Circuits: []string{"a", "b", "c", "d"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Server5xx != 2 {
+		t.Errorf("Server5xx = %d, want 2", m.Server5xx)
+	}
+	if m.StatusCounts["500"] != 2 || m.StatusCounts["200"] != 2 {
+		t.Errorf("status counts = %v, want 2x 500 + 2x 200", m.StatusCounts)
+	}
+}
+
+func TestRunLoadRetries429(t *testing.T) {
+	// Every circuit's first attempt is refused with 429 backpressure; the
+	// generator must retry until the 200 and record the refusals as
+	// retries, not as final statuses.
+	var refused atomic.Int64
+	mu := make(chan struct{}, 1)
+	firstTry := make(map[string]bool)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu <- struct{}{}
+		defer func() { <-mu }()
+		var req serve.Request
+		json.NewDecoder(r.Body).Decode(&req)
+		if !firstTry[req.Circuit] {
+			firstTry[req.Circuit] = true
+			refused.Add(1)
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "queue full"})
+			return
+		}
+		json.NewEncoder(w).Encode(serve.Response{Circuit: req.Circuit})
+	}))
+	defer srv.Close()
+
+	m, err := RunLoad(context.Background(), LoadOptions{
+		URL: srv.URL, Concurrency: 2, Passes: 1, Circuits: []string{"a", "b", "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StatusCounts["200"] != 3 || m.StatusCounts["429"] != 0 {
+		t.Errorf("status counts = %v, want 3x 200 and no final 429", m.StatusCounts)
+	}
+	if m.Retries429 != 3 || refused.Load() != 3 {
+		t.Errorf("Retries429 = %d (daemon refused %d), want 3", m.Retries429, refused.Load())
+	}
+}
+
+func TestRunLoadRejectsBadURL(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadOptions{URL: "localhost:8080"}); err == nil {
+		t.Error("schemeless URL accepted")
+	}
+}

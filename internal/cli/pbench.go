@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"powermap/internal/bench"
 	"powermap/internal/core"
@@ -40,6 +41,12 @@ func Pbench(args []string, out, errOut io.Writer) error {
 		runID     = fs.String("run-id", "", "run identifier stamped into the manifest and journal headers (default: generated when -journal-dir is set)")
 		trend     = fs.String("trend", "", "append this run to the JSONL trend ledger at this path (e.g. BENCH_history.jsonl) and print the last-5-runs delta table")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+
+		loadURL    = fs.String("load", "", "load-test a live pserve at this base URL (e.g. http://localhost:8080) instead of benchmarking the pipeline in-process")
+		loadConc   = fs.Int("load-concurrency", 8, "concurrent in-flight requests for -load")
+		loadPasses = fs.Int("load-passes", 2, "suite replay count for -load (pass 2 onward measures the daemon's result cache)")
+		loadMethod = fs.String("load-method", "VI", "method every -load request asks for")
+		loadOut    = fs.String("load-out", "BENCH_serve.json", "write the -load result manifest to this file")
 	)
 	// pbench predates the shared telemetry bundle and defines its own
 	// -run-id, so it registers the obs flag set directly instead of
@@ -48,6 +55,15 @@ func Pbench(args []string, out, errOut io.Writer) error {
 	obsf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *loadURL != "" {
+		return pbenchLoad(out, errOut, bench.LoadOptions{
+			URL:         *loadURL,
+			Concurrency: *loadConc,
+			Passes:      *loadPasses,
+			Circuits:    splitList(*circuits),
+			Method:      *loadMethod,
+		}, *loadOut, *timeout, *failFlag)
 	}
 	opts := bench.Options{
 		Runs:           *runs,
@@ -145,6 +161,35 @@ func Pbench(args []string, out, errOut io.Writer) error {
 	if regs := cmp.Regressions(); len(regs) > 0 && *failFlag {
 		return fmt.Errorf("%d phase(s) regressed beyond %.0f%% (worst: %s %+.1f%%)",
 			len(regs), cmp.ThresholdPct, regs[0].Phase, regs[0].Pct)
+	}
+	return nil
+}
+
+// pbenchLoad is the -load mode: replay the suite against a live pserve,
+// write BENCH_serve.json, and (under -fail) turn 5xx responses or
+// transport failures into a non-zero exit.
+func pbenchLoad(out, errOut io.Writer, opts bench.LoadOptions, outPath string, timeout time.Duration, failFlag bool) error {
+	ctx, cancel := timeoutContext(timeout)
+	defer cancel()
+	fmt.Fprintf(errOut, "pbench: load %s × %d pass(es) at concurrency %d against %s\n",
+		describeList(opts.Circuits, []string{"full suite"}), maxInt(opts.Passes, 1), maxInt(opts.Concurrency, 1), opts.URL)
+	m, err := bench.RunLoad(ctx, opts)
+	if err != nil {
+		return timeoutError(timeout, err)
+	}
+	if err := bench.WriteServeManifestFile(outPath, m); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "load: %d requests in %.1f s (%.1f req/s), %d cache hit(s), %d backpressure retry(ies), %d failure(s), %d server 5xx\n",
+		m.Requests, float64(m.WallNs)/1e9, m.Throughput, m.CacheHits, m.Retries429, m.Failures, m.Server5xx)
+	fmt.Fprintf(out, "latency: mean %.1f ms, p50 %.1f ms, p99 %.1f ms, max %.1f ms — manifest written to %s\n",
+		m.LatMeanMs, m.LatP50Ms, m.LatP99Ms, m.LatMaxMs, outPath)
+	for _, ps := range m.PassStats {
+		fmt.Fprintf(out, "  pass %d: %d requests, %d cached, p50 %.1f ms, p99 %.1f ms\n",
+			ps.Pass, ps.Requests, ps.CacheHits, ps.LatP50Ms, ps.LatP99Ms)
+	}
+	if failFlag && (m.Server5xx > 0 || m.Failures > 0) {
+		return fmt.Errorf("load run unhealthy: %d server 5xx, %d transport failure(s)", m.Server5xx, m.Failures)
 	}
 	return nil
 }

@@ -1,18 +1,21 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
-	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"powermap/internal/journal"
 	"powermap/internal/obs"
+	"powermap/internal/serve"
 )
 
 // startProfiles starts a CPU profile and/or arranges a heap profile per
@@ -190,11 +193,16 @@ func writeTo(path string, write func(io.Writer) error) error {
 // serveTelemetry keeps the process alive serving the scope's live
 // telemetry endpoints, so the snapshot can be scraped and the heap/CPU
 // profiled after (or during, when started from another goroutine) a run.
+// The server carries the shared hardening (header/idle timeouts) and
+// SIGINT/SIGTERM triggers a graceful shutdown: open scrapes finish instead
+// of being cut mid-response by the bare http.Serve this replaced.
 func serveTelemetry(addr string, sc *obs.Scope, errOut io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Fprintf(errOut, "serving /metrics, /snapshot, /trace, /healthz, /readyz, /debug/flight and /debug/pprof on http://%s (interrupt to stop)\n", ln.Addr())
-	return http.Serve(ln, sc.Handler())
+	return serve.ListenAndServe(ctx, ln, sc.Handler(), serve.HTTPOptions{})
 }

@@ -201,6 +201,18 @@ type Result struct {
 	OptStats opt.Stats
 }
 
+// Release returns the result's BDD resources (the decomposition's
+// probability model) to their warm pool, if Options.BDD.Pool was set.
+// Call it once the report, netlist and verification verdict have been
+// extracted; the Decomp model must not be used afterwards. Safe on nil
+// and idempotent.
+func (r *Result) Release() {
+	if r == nil || r.Decomp == nil {
+		return
+	}
+	r.Decomp.Model.Release()
+}
+
 // Synthesize runs the full flow on a copy of the input network. The input
 // is never modified.
 func Synthesize(nw *network.Network, o Options) (*Result, error) {

@@ -1,10 +1,14 @@
 package obs
 
 import (
+	"bytes"
 	"compress/gzip"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -204,6 +208,9 @@ func TestServeGzip(t *testing.T) {
 		if ce := rr.Header().Get("Content-Encoding"); ce != "gzip" {
 			t.Fatalf("%s Content-Encoding = %q, want gzip", path, ce)
 		}
+		if v := rr.Header().Get("Vary"); v != "Accept-Encoding" {
+			t.Errorf("%s Vary = %q, want Accept-Encoding", path, v)
+		}
 		zr, err := gzip.NewReader(rr.Body)
 		if err != nil {
 			t.Fatalf("%s body is not gzip: %v", path, err)
@@ -221,6 +228,12 @@ func TestServeGzip(t *testing.T) {
 		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
 		if ce := rr.Header().Get("Content-Encoding"); ce != "" {
 			t.Errorf("%s without Accept-Encoding got Content-Encoding %q", path, ce)
+		}
+		// The Vary header must be present even on the identity response, or
+		// a shared cache that first saw an identity client would later serve
+		// the uncompressed body to everyone (and vice versa).
+		if v := rr.Header().Get("Vary"); v != "Accept-Encoding" {
+			t.Errorf("%s identity response Vary = %q, want Accept-Encoding", path, v)
 		}
 		if !json.Valid(rr.Body.Bytes()) {
 			t.Errorf("%s identity body is not JSON:\n%s", path, rr.Body.String())
@@ -264,4 +277,47 @@ func TestDebugFlightEndpoint(t *testing.T) {
 	if fr, err = ParseFlightRecord(rr.Body); err != nil || fr.Reason != "core.synthesize" {
 		t.Errorf("retained capture wrong: %v, %+v", err, fr)
 	}
+}
+
+// brokenWriter fails every Write, simulating a health probe that hung up
+// mid-body.
+type brokenWriter struct {
+	header http.Header
+	code   int
+}
+
+func (b *brokenWriter) Header() http.Header {
+	if b.header == nil {
+		b.header = make(http.Header)
+	}
+	return b.header
+}
+func (b *brokenWriter) WriteHeader(code int)      { b.code = code }
+func (b *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("peer hung up") }
+
+// TestWriteHealthLogsEncodeFailure checks the satellite fix: a failed
+// health-body encode is surfaced through the scope's slog handler instead
+// of being silently discarded.
+func TestWriteHealthLogsEncodeFailure(t *testing.T) {
+	sc := New(Config{})
+	var logged bytes.Buffer
+	sc.SetSpanLogger(slog.New(slog.NewTextHandler(&logged, nil)))
+
+	sc.writeHealth(&brokenWriter{}, "/healthz", sc.Health(), true)
+	out := logged.String()
+	if !strings.Contains(out, "health write failed") || !strings.Contains(out, "peer hung up") {
+		t.Errorf("encode failure not logged; log output:\n%s", out)
+	}
+
+	// A healthy write logs nothing, and a logger-less or nil scope must not
+	// panic on the failure path.
+	logged.Reset()
+	rr := httptest.NewRecorder()
+	sc.writeHealth(rr, "/healthz", sc.Health(), true)
+	if logged.Len() != 0 {
+		t.Errorf("successful write logged: %s", logged.String())
+	}
+	New(Config{}).writeHealth(&brokenWriter{}, "/healthz", HealthStatus{}, false)
+	var nilScope *Scope
+	nilScope.LogError("must not panic")
 }

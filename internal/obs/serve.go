@@ -46,11 +46,11 @@ func (s *Scope) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := s.Health()
-		writeHealth(w, h, h.Healthy)
+		s.writeHealth(w, "/healthz", h, h.Healthy)
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		h := s.Health()
-		writeHealth(w, h, h.Ready)
+		s.writeHealth(w, "/readyz", h, h.Ready)
 	})
 	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
 		fl := s.Flight()
@@ -77,20 +77,44 @@ func (s *Scope) Handler() http.Handler {
 	return mux
 }
 
-func writeHealth(w http.ResponseWriter, h HealthStatus, ok bool) {
+// writeHealth serves one health verdict. An Encode failure usually means
+// the probe hung up mid-body (a truncated /healthz looks like a flapping
+// service to an orchestrator), so it is logged instead of discarded.
+func (s *Scope) writeHealth(w http.ResponseWriter, endpoint string, h HealthStatus, ok bool) {
 	w.Header().Set("Content-Type", "application/json")
 	if !ok {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(h)
+	if err := enc.Encode(h); err != nil {
+		s.LogError("health write failed", "endpoint", endpoint, "err", err)
+	}
+}
+
+// LogError emits an error record through the scope's span logger (the
+// shared -log-level/-log-json chain once the CLI installed it). Safe on a
+// nil or logger-less scope.
+func (s *Scope) LogError(msg string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	logger := s.tracer.logger
+	s.tracer.mu.Unlock()
+	if logger != nil {
+		logger.Error(msg, args...)
+	}
 }
 
 // maybeGzip wraps the response in a gzip writer when the client advertises
 // support. The returned cleanup must run before the handler returns (it
-// flushes the gzip trailer).
+// flushes the gzip trailer). The response varies on Accept-Encoding whether
+// or not this client negotiated gzip, so the header is set unconditionally
+// — otherwise an intermediary cache could hand the gzipped body to a
+// client that never asked for it.
 func maybeGzip(w http.ResponseWriter, r *http.Request) (io.Writer, func()) {
+	w.Header().Add("Vary", "Accept-Encoding")
 	if !acceptsGzip(r) {
 		return w, func() {}
 	}

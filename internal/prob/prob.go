@@ -66,8 +66,10 @@ func ComputeContext(ctx context.Context, nw *network.Network, piProb map[string]
 }
 
 // ComputeWith is ComputeContext with an explicit BDD kernel configuration
-// (node limit, GC thresholds, dynamic reordering).
-func ComputeWith(ctx context.Context, nw *network.Network, piProb map[string]float64, style huffman.Style, cfg bdd.Config) (*Model, error) {
+// (node limit, GC thresholds, dynamic reordering). When cfg.Pool is set the
+// manager is drawn warm from that pool and every failure path recycles it,
+// so an over-budget or cancelled request never leaks pool capacity.
+func ComputeWith(ctx context.Context, nw *network.Network, piProb map[string]float64, style huffman.Style, cfg bdd.Config) (model *Model, err error) {
 	m := &Model{
 		Style:   style,
 		mgr:     bdd.NewWith(len(nw.PIs), cfg),
@@ -76,6 +78,11 @@ func ComputeWith(ctx context.Context, nw *network.Network, piProb map[string]flo
 		piIndex: make(map[*network.Node]int),
 		piProb:  make([]float64, len(nw.PIs)),
 	}
+	defer func() {
+		if err != nil {
+			m.Release()
+		}
+	}()
 	for pi, level := range dfsVariableOrder(nw) {
 		m.piIndex[pi] = level
 		p, ok := piProb[pi.Name]
@@ -187,6 +194,19 @@ func (m *Model) activityOf(p1 float64) float64 {
 
 // Manager exposes the underlying BDD manager (for equivalence checks).
 func (m *Model) Manager() *bdd.Manager { return m.mgr }
+
+// Release hands the model's BDD manager back to its warm pool (a no-op for
+// managers allocated outside a pool) and poisons the model: every Ref it
+// produced is invalid afterwards. Safe on nil and idempotent, so callers on
+// error paths can release unconditionally.
+func (m *Model) Release() {
+	if m == nil || m.mgr == nil {
+		return
+	}
+	m.mgr.Recycle()
+	m.mgr = nil
+	m.global = nil
+}
 
 // Global returns the global BDD of a node, or false when the node was not
 // reachable when the model was computed.
@@ -303,6 +323,7 @@ func EquivalentOutputsWith(ctx context.Context, a, b *network.Network, cfg bdd.C
 		index[pi.Name] = i
 	}
 	mgr := bdd.NewWith(len(a.PIs), cfg)
+	defer mgr.Recycle()
 	build := func(nw *network.Network) (map[string]bdd.Ref, error) {
 		global := make(map[*network.Node]bdd.Ref)
 		for _, n := range nw.TopoOrder() {

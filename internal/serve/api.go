@@ -1,0 +1,253 @@
+// Package serve implements synthesis-as-a-service: an HTTP/JSON daemon
+// (cmd/pserve) that runs the paper's decomposition+mapping pipeline per
+// request, with the production concerns the CLI tools don't need — a warm
+// pool of Reset-able BDD managers, content-addressed result caching,
+// admission control with honest status codes, and graceful drain. See
+// DESIGN.md §16 for the architecture and the status-code contract.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"powermap/internal/core"
+	"powermap/internal/huffman"
+	"powermap/internal/mapper"
+	"powermap/internal/prob"
+)
+
+// Request is the POST /synth payload: one circuit (a bundled benchmark
+// name or literal BLIF text, not both) plus synthesis options.
+type Request struct {
+	// Circuit names a bundled benchmark (pmap -list).
+	Circuit string `json:"circuit,omitempty"`
+	// BLIF is a literal BLIF netlist.
+	BLIF    string  `json:"blif,omitempty"`
+	Options Options `json:"options"`
+}
+
+// Options mirrors the pmap flag surface over JSON. Zero values take the
+// CLI defaults (method VI, static style, dag mapper, exact activities,
+// uniform P(pi=1)=0.5).
+type Options struct {
+	// Method is the paper method, "I".."VI".
+	Method string `json:"method,omitempty"`
+	// Style is the design style: static, domino-p, domino-n.
+	Style string `json:"style,omitempty"`
+	// Mapper selects the match enumerator: tree, dag or cuts.
+	Mapper string `json:"mapper,omitempty"`
+	// LUT maps k-feasible cuts to generic k-LUTs (2..6, implies cuts).
+	LUT int `json:"lut,omitempty"`
+	// Activity selects the activity engine: exact, sample or auto.
+	Activity string `json:"activity,omitempty"`
+	// Vectors is the sampling budget for sample/auto.
+	Vectors int `json:"vectors,omitempty"`
+	// PIProb is the uniform P(pi=1); 0 means the default 0.5.
+	PIProb float64 `json:"pi_prob,omitempty"`
+	// BDDLimit caps live BDD nodes for this request; an over-budget
+	// network fails with 422. 0 takes the server's default.
+	BDDLimit int `json:"bdd_limit,omitempty"`
+	// Reorder enables dynamic BDD variable reordering.
+	Reorder bool `json:"reorder,omitempty"`
+	// TimeoutMS bounds the request's wall time; expiry returns 408.
+	// 0 takes the server default; the server's -max-timeout clamps it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Verify additionally proves the result equivalent to the source.
+	Verify bool `json:"verify,omitempty"`
+	// Netlist returns the mapped netlist as BLIF in the response.
+	Netlist bool `json:"netlist,omitempty"`
+}
+
+// Report is the paper's three reported metrics plus gate count.
+type Report struct {
+	Gates   int     `json:"gates"`
+	Area    float64 `json:"area"`
+	DelayNS float64 `json:"delay_ns"`
+	PowerUW float64 `json:"power_uw"`
+}
+
+// Response is the 200 body of POST /synth.
+type Response struct {
+	Circuit       string  `json:"circuit"`
+	Method        string  `json:"method"`
+	Report        Report  `json:"report"`
+	SubjectNodes  int     `json:"subject_nodes"`
+	TotalActivity float64 `json:"total_activity"`
+	// Verified is present only when the request asked for verification.
+	Verified *bool `json:"verified,omitempty"`
+	// NetlistBLIF is present only when the request asked for the netlist.
+	NetlistBLIF string `json:"netlist_blif,omitempty"`
+	// Cached reports whether this response was served from the result
+	// cache rather than synthesized.
+	Cached bool `json:"cached"`
+	// ElapsedMS is this request's service time (near zero on a hit).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the body of every non-200 status.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// resolved is an Options value parsed into pipeline types.
+type resolved struct {
+	method   core.Method
+	style    huffman.Style
+	backend  mapper.Backend
+	treeMode bool
+	lut      int
+	activity prob.Policy
+	piProb   float64
+	bddLimit int
+	reorder  bool
+	timeout  time.Duration
+	verify   bool
+	netlist  bool
+}
+
+// resolve validates o and fills defaults. The string enums are parsed
+// here rather than through internal/cli (which imports this package for
+// the shared graceful listener); the accepted spellings match the flags.
+func (o Options) resolve() (resolved, error) {
+	r := resolved{
+		lut:      o.LUT,
+		piProb:   o.PIProb,
+		bddLimit: o.BDDLimit,
+		reorder:  o.Reorder,
+		verify:   o.Verify,
+		netlist:  o.Netlist,
+	}
+	method := o.Method
+	if method == "" {
+		method = "VI"
+	}
+	found := false
+	for _, m := range core.Methods() {
+		if strings.EqualFold(m.String(), method) {
+			r.method, found = m, true
+			break
+		}
+	}
+	if !found {
+		return r, fmt.Errorf("unknown method %q (want I..VI)", o.Method)
+	}
+	switch strings.ToLower(o.Style) {
+	case "", "static":
+		r.style = huffman.Static
+	case "domino-p":
+		r.style = huffman.DominoP
+	case "domino-n":
+		r.style = huffman.DominoN
+	default:
+		return r, fmt.Errorf("unknown style %q (want static, domino-p or domino-n)", o.Style)
+	}
+	switch o.Mapper {
+	case "", "dag":
+		if o.LUT > 0 {
+			if o.Mapper == "" {
+				r.backend = mapper.BackendCuts
+			} else {
+				return r, fmt.Errorf("lut requires the cuts mapper")
+			}
+		} else {
+			r.backend = mapper.BackendStructural
+		}
+	case "tree":
+		if o.LUT > 0 {
+			return r, fmt.Errorf("lut requires the cuts mapper")
+		}
+		r.backend, r.treeMode = mapper.BackendStructural, true
+	case "cuts":
+		r.backend = mapper.BackendCuts
+	default:
+		return r, fmt.Errorf("unknown mapper %q (want tree, dag or cuts)", o.Mapper)
+	}
+	switch strings.ToLower(o.Activity) {
+	case "", "exact":
+		r.activity.Engine = prob.Exact
+	case "sample", "sampling":
+		r.activity.Engine = prob.Sampling
+	case "auto":
+		r.activity.Engine = prob.Auto
+	default:
+		return r, fmt.Errorf("unknown activity %q (want exact, sample or auto)", o.Activity)
+	}
+	if o.Vectors < 0 {
+		return r, fmt.Errorf("vectors must be >= 0")
+	}
+	if o.PIProb == 0 {
+		r.piProb = 0.5
+	} else if o.PIProb < 0 || o.PIProb > 1 {
+		return r, fmt.Errorf("pi_prob %v outside [0,1]", o.PIProb)
+	}
+	if o.BDDLimit < 0 {
+		return r, fmt.Errorf("bdd_limit must be >= 0")
+	}
+	if o.TimeoutMS < 0 {
+		return r, fmt.Errorf("timeout_ms must be >= 0")
+	}
+	r.timeout = time.Duration(o.TimeoutMS) * time.Millisecond
+	return r, nil
+}
+
+// canonical returns the options with defaults applied and the cache-
+// irrelevant fields zeroed, so two requests for the same computation hash
+// identically however sparsely they were spelled. TimeoutMS is excluded:
+// a budget changes whether a result arrives, never which result.
+func (o Options) canonical() Options {
+	if o.Method == "" {
+		o.Method = "VI"
+	} else {
+		o.Method = strings.ToUpper(o.Method)
+	}
+	if o.Style == "" {
+		o.Style = "static"
+	} else {
+		o.Style = strings.ToLower(o.Style)
+	}
+	if o.Mapper == "" {
+		o.Mapper = "dag"
+		if o.LUT > 0 {
+			o.Mapper = "cuts"
+		}
+	}
+	switch a := strings.ToLower(o.Activity); a {
+	case "", "exact":
+		o.Activity = "exact"
+	case "sampling":
+		o.Activity = "sample"
+	default:
+		o.Activity = a
+	}
+	if o.Activity == "exact" {
+		// The sampling budget is inert under the exact engine.
+		o.Vectors = 0
+	}
+	if o.PIProb == 0 {
+		o.PIProb = 0.5
+	}
+	o.TimeoutMS = 0
+	return o
+}
+
+// cacheKey content-addresses one computation: the circuit bytes (or the
+// bundled-benchmark name, versioned implicitly by the binary) hashed with
+// the canonicalized options.
+func cacheKey(circuit, blifText string, o Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "circuit=%s\n", circuit)
+	fmt.Fprintf(h, "blif=%d:", len(blifText))
+	h.Write([]byte(blifText))
+	opts, err := json.Marshal(o.canonical())
+	if err != nil {
+		// Options is a flat struct of scalars; Marshal cannot fail.
+		panic(err)
+	}
+	h.Write([]byte("\nopts="))
+	h.Write(opts)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a bounded LRU over finished synthesis responses, keyed by the
+// content address of (netlist bytes, canonical options). Values are
+// *Response snapshots; the handler copies before mutating the per-request
+// fields (Cached, ElapsedMS).
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recent
+	entries map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val *Response
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (c *cache) get(key string) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *cache) put(key string, val *Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for len(c.entries) > c.max {
+		oldest := c.order.Back()
+		ent := oldest.Value.(*cacheEntry)
+		c.order.Remove(oldest)
+		delete(c.entries, ent.key)
+		c.evictions++
+	}
+}
+
+// counters returns (hits, misses, evictions) since creation.
+func (c *cache) counters() (int64, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,373 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"powermap/internal/network"
+)
+
+func postSynth(t *testing.T, h http.Handler, body string) (int, map[string]any) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/synth", strings.NewReader(body))
+	h.ServeHTTP(rr, req)
+	var out map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("non-JSON response (%d): %v\n%s", rr.Code, err, rr.Body.String())
+	}
+	return rr.Code, out
+}
+
+// TestSynthesizeAndCacheHit runs the real pipeline end to end: a bundled
+// circuit synthesizes to a 200 with a positive power figure and a verified
+// netlist, and the identical re-request is served from the cache.
+func TestSynthesizeAndCacheHit(t *testing.T) {
+	s := New(Config{MaxInflight: 2})
+	h := s.Handler()
+	body := `{"circuit": "cm42a", "options": {"method": "VI", "verify": true, "netlist": true}}`
+
+	code, out := postSynth(t, h, body)
+	if code != 200 {
+		t.Fatalf("synthesis = %d: %v", code, out)
+	}
+	rep, _ := out["report"].(map[string]any)
+	if p, _ := rep["power_uw"].(float64); p <= 0 {
+		t.Errorf("power_uw = %v, want > 0", rep["power_uw"])
+	}
+	if v, _ := out["verified"].(bool); !v {
+		t.Errorf("verified = %v, want true", out["verified"])
+	}
+	if nl, _ := out["netlist_blif"].(string); !strings.Contains(nl, ".model") {
+		t.Errorf("netlist_blif missing BLIF content: %q", nl)
+	}
+	if cached, _ := out["cached"].(bool); cached {
+		t.Error("first request claims cached")
+	}
+
+	// The same computation spelled with explicit defaults hits the cache.
+	code, out = postSynth(t, h,
+		`{"circuit": "cm42a", "options": {"method": "vi", "style": "static", "mapper": "dag", "activity": "exact", "pi_prob": 0.5, "verify": true, "netlist": true, "timeout_ms": 9999}}`)
+	if code != 200 {
+		t.Fatalf("re-request = %d: %v", code, out)
+	}
+	if cached, _ := out["cached"].(bool); !cached {
+		t.Error("identical re-request missed the cache")
+	}
+	hits, misses, _ := s.cache.counters()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache counters = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if st := s.pool.Stats(); st.Puts == 0 {
+		t.Errorf("no manager was recycled into the warm pool: %+v", st)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	cases := []struct {
+		name, body string
+	}{
+		{"not json", `{`},
+		{"unknown field", `{"circiut": "cm42a"}`},
+		{"no circuit", `{"options": {}}`},
+		{"both sources", `{"circuit": "cm42a", "blif": ".model m\n.end\n"}`},
+		{"unknown circuit", `{"circuit": "nope"}`},
+		{"bad blif", `{"blif": ".inputs a"}`},
+		{"bad method", `{"circuit": "cm42a", "options": {"method": "VII"}}`},
+		{"bad style", `{"circuit": "cm42a", "options": {"style": "cmos"}}`},
+		{"bad mapper", `{"circuit": "cm42a", "options": {"mapper": "magic"}}`},
+		{"lut with tree", `{"circuit": "cm42a", "options": {"mapper": "tree", "lut": 4}}`},
+		{"bad activity", `{"circuit": "cm42a", "options": {"activity": "guess"}}`},
+		{"bad prob", `{"circuit": "cm42a", "options": {"pi_prob": 1.5}}`},
+		{"negative timeout", `{"circuit": "cm42a", "options": {"timeout_ms": -1}}`},
+	}
+	for _, c := range cases {
+		code, out := postSynth(t, h, c.body)
+		if code != 400 {
+			t.Errorf("%s: code = %d, want 400 (%v)", c.name, code, out)
+		}
+		if msg, _ := out["error"].(string); msg == "" {
+			t.Errorf("%s: no error message", c.name)
+		}
+	}
+	// GET is not part of the API surface.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/synth", nil))
+	if rr.Code != 405 {
+		t.Errorf("GET /synth = %d, want 405", rr.Code)
+	}
+}
+
+// blockingServer returns a server whose run function parks until release
+// is closed, signalling each entry on started.
+func blockingServer(cfg Config) (s *Server, started chan struct{}, release chan struct{}) {
+	s = New(cfg)
+	started = make(chan struct{}, 16)
+	release = make(chan struct{})
+	s.run = func(ctx context.Context, _ *network.Network, _ Request, _ resolved) (*Response, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return &Response{Circuit: "fake"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return s, started, release
+}
+
+func TestQueueFull429(t *testing.T) {
+	s, started, release := blockingServer(Config{MaxInflight: 1, QueueDepth: -1})
+	h := s.Handler()
+	defer close(release)
+
+	first := make(chan int)
+	go func() {
+		code, _ := postSynth(t, h, `{"circuit": "cm42a"}`)
+		first <- code
+	}()
+	<-started // the only slot is now held
+
+	code, out := postSynth(t, h, `{"circuit": "cm42a"}`)
+	if code != 429 {
+		t.Fatalf("over-capacity request = %d (%v), want 429", code, out)
+	}
+	release <- struct{}{}
+	if code := <-first; code != 200 {
+		t.Fatalf("blocked request = %d, want 200", code)
+	}
+}
+
+func TestQueuedTimeout408(t *testing.T) {
+	s, started, release := blockingServer(Config{MaxInflight: 1, QueueDepth: 4})
+	h := s.Handler()
+	defer close(release)
+
+	first := make(chan int)
+	go func() {
+		code, _ := postSynth(t, h, `{"circuit": "cm42a"}`)
+		first <- code
+	}()
+	<-started
+
+	// This one queues behind the blocked slot and its budget expires there.
+	code, out := postSynth(t, h, `{"circuit": "s208", "options": {"timeout_ms": 30}}`)
+	if code != 408 {
+		t.Fatalf("queued request = %d (%v), want 408", code, out)
+	}
+	release <- struct{}{}
+	if code := <-first; code != 200 {
+		t.Fatalf("blocked request = %d, want 200", code)
+	}
+}
+
+func TestRunningTimeout408(t *testing.T) {
+	s, started, release := blockingServer(Config{MaxInflight: 1})
+	defer close(release)
+	h := s.Handler()
+	done := make(chan struct{})
+	go func() { <-started; close(done) }()
+	code, out := postSynth(t, h, `{"circuit": "cm42a", "options": {"timeout_ms": 30}}`)
+	<-done
+	if code != 408 {
+		t.Fatalf("expired request = %d (%v), want 408", code, out)
+	}
+}
+
+// TestOverBudget422 drives the real pipeline into its node-limit budget:
+// the request fails with 422, the daemon's /healthz stays 200, and the
+// next request still synthesizes.
+func TestOverBudget422(t *testing.T) {
+	s := New(Config{MaxInflight: 1})
+	h := s.Handler()
+
+	code, out := postSynth(t, h, `{"circuit": "s344", "options": {"bdd_limit": 64, "activity": "exact"}}`)
+	if code != 422 {
+		t.Fatalf("over-budget request = %d (%v), want 422", code, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "node limit") {
+		t.Errorf("422 error does not name the node limit: %q", msg)
+	}
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/healthz after 422 = %d, want 200 (a refused request is not a sick daemon)", rr.Code)
+	}
+	if code, _ := postSynth(t, h, `{"circuit": "cm42a"}`); code != 200 {
+		t.Fatalf("request after 422 = %d, want 200", code)
+	}
+}
+
+func TestPanicContained500(t *testing.T) {
+	s := New(Config{MaxInflight: 1})
+	s.run = func(context.Context, *network.Network, Request, resolved) (*Response, error) {
+		panic("kaboom")
+	}
+	h := s.Handler()
+	code, out := postSynth(t, h, `{"circuit": "cm42a"}`)
+	if code != 500 {
+		t.Fatalf("panicking request = %d (%v), want 500", code, out)
+	}
+	// The slot was released: a healthy run function serves again.
+	s.run = func(context.Context, *network.Network, Request, resolved) (*Response, error) {
+		return &Response{Circuit: "ok"}, nil
+	}
+	if code, _ := postSynth(t, h, `{"circuit": "s208"}`); code != 200 {
+		t.Fatalf("request after panic = %d, want 200", code)
+	}
+}
+
+// TestDrainNoLeak is the SIGTERM story under -race: with a request in
+// flight, cancelling the serve context flips /readyz to 503 and refuses
+// new synthesis, the in-flight request completes 200, ListenAndServe
+// returns cleanly, and no goroutine survives.
+func TestDrainNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s, started, release := blockingServer(Config{MaxInflight: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- ListenAndServe(ctx, ln, s.Handler(), HTTPOptions{
+			ShutdownGrace: 5 * time.Second,
+			OnShutdown:    s.Drain,
+		})
+	}()
+	base := "http://" + ln.Addr().String()
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/synth", "application/json",
+			strings.NewReader(`{"circuit": "cm42a"}`))
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	<-started // request is inside the run function
+
+	cancel() // the SIGTERM
+	waitFor(t, "drain flag", func() bool { return s.Draining() })
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("/readyz during drain: %v", err)
+	}
+	var hs struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hs)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 503 || hs.Ready || !contains(hs.Reasons, "draining") {
+		t.Fatalf("/readyz during drain = %d %+v (err %v), want 503 with reason draining", resp.StatusCode, hs, err)
+	}
+	resp, err = http.Post(base+"/synth", "application/json", strings.NewReader(`{"circuit": "s208"}`))
+	if err != nil {
+		t.Fatalf("/synth during drain: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("/synth during drain = %d, want 503", resp.StatusCode)
+	}
+
+	release <- struct{}{} // let the in-flight request finish
+	if code := <-inflight; code != 200 {
+		t.Fatalf("in-flight request during drain = %d, want 200", code)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("ListenAndServe after drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ListenAndServe did not return after drain")
+	}
+	close(release)
+
+	http.DefaultClient.CloseIdleConnections()
+	waitFor(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	})
+}
+
+func TestCanonicalKey(t *testing.T) {
+	sparse := cacheKey("cm42a", "", Options{})
+	explicit := cacheKey("cm42a", "", Options{
+		Method: "vi", Style: "Static", Mapper: "dag", Activity: "EXACT",
+		PIProb: 0.5, TimeoutMS: 12345, Vectors: 4096,
+	})
+	if sparse != explicit {
+		t.Error("defaulted and explicit spellings of one computation hash differently")
+	}
+	if cacheKey("cm42a", "", Options{Method: "I"}) == sparse {
+		t.Error("different methods hash identically")
+	}
+	if cacheKey("s208", "", Options{}) == sparse {
+		t.Error("different circuits hash identically")
+	}
+	if cacheKey("", ".model m\n.end\n", Options{}) == cacheKey("", ".model n\n.end\n", Options{}) {
+		t.Error("different BLIF bodies hash identically")
+	}
+	// Vectors matter under the sampling engine (they change the result).
+	if cacheKey("cm42a", "", Options{Activity: "sample", Vectors: 64}) ==
+		cacheKey("cm42a", "", Options{Activity: "sample", Vectors: 128}) {
+		t.Error("sampling budgets hash identically")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	c.put("a", &Response{Circuit: "a"})
+	c.put("b", &Response{Circuit: "b"})
+	c.get("a") // a is now most recent
+	c.put("c", &Response{Circuit: "c"})
+	if _, ok := c.get("b"); ok {
+		t.Error("least-recently-used entry survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently-used entry was evicted")
+	}
+	_, _, evictions := c.counters()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+}
+
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
